@@ -1,0 +1,130 @@
+// Command tdnuca-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tdnuca-experiments -all                # every table and figure
+//	tdnuca-experiments -fig 8              # one figure (3, 8..15)
+//	tdnuca-experiments -fig rrt            # Sec. V-E RRT latency sweep
+//	tdnuca-experiments -fig occupancy      # Sec. V-E RRT occupancy
+//	tdnuca-experiments -fig flush          # Sec. V-E flush overhead
+//	tdnuca-experiments -fig rtoverhead     # Sec. V-E runtime overhead
+//	tdnuca-experiments -factor 0.03125     # workload memory scale
+//	tdnuca-experiments -check              # enable the coherence checker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tdnuca"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 3, 8..15, rrt, occupancy, flush, rtoverhead, ablation, clusters, table1, table2")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		factor = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II scale)")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		check  = flag.Bool("check", false, "enable the functional coherence checker (slower)")
+	)
+	flag.Parse()
+
+	cfg := tdnuca.DefaultExperimentConfig()
+	cfg.Factor = tdnuca.WorkloadFactor(*factor)
+	cfg.Seed = *seed
+	cfg.Arch.CheckInvariants = *check
+
+	if !*all && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *all || strings.EqualFold(*fig, name) }
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(tdnuca.TableI(cfg))
+	}
+	if want("table2") {
+		tbl, err := tdnuca.TableII(cfg)
+		fail(err)
+		fmt.Println(tbl)
+	}
+
+	needSuite := *all
+	for _, f := range []string{"3", "8", "9", "10", "11", "12", "13", "14", "15", "occupancy", "flush"} {
+		if strings.EqualFold(*fig, f) {
+			needSuite = true
+		}
+	}
+	var suite tdnuca.Suite
+	if needSuite {
+		kinds := []tdnuca.PolicyKind{tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA}
+		if *all || want("15") {
+			kinds = append(kinds, tdnuca.TDBypassOnly)
+		}
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d policies at factor %g...\n",
+			len(tdnuca.Benchmarks()), len(kinds), *factor)
+		var err error
+		suite, err = tdnuca.RunSuite(cfg, kinds...)
+		fail(err)
+		reportViolations(suite)
+	}
+
+	type figEntry struct {
+		name string
+		gen  func(tdnuca.Suite) tdnuca.Table
+	}
+	for _, fe := range []figEntry{
+		{"3", tdnuca.Fig3}, {"8", tdnuca.Fig8}, {"9", tdnuca.Fig9},
+		{"10", tdnuca.Fig10}, {"11", tdnuca.Fig11}, {"12", tdnuca.Fig12},
+		{"13", tdnuca.Fig13}, {"14", tdnuca.Fig14}, {"15", tdnuca.Fig15},
+		{"occupancy", tdnuca.OccupancyTable}, {"flush", tdnuca.FlushOverheadTable},
+	} {
+		if want(fe.name) {
+			fmt.Println(fe.gen(suite))
+		}
+	}
+
+	if want("rrt") {
+		tbl, err := tdnuca.RRTLatencySweep(cfg, []int{0, 1, 2, 3, 4})
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("rtoverhead") {
+		tbl, err := tdnuca.RuntimeOverheadTable(cfg)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("ablation") {
+		tbl, err := tdnuca.AblationTable(cfg)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("clusters") {
+		tbl, err := tdnuca.ClusterSweep(cfg, [][2]int{{1, 1}, {2, 2}, {4, 4}})
+		fail(err)
+		fmt.Println(tbl)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func reportViolations(s tdnuca.Suite) {
+	for bench, perPolicy := range s {
+		for kind, r := range perPolicy {
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "COHERENCE VIOLATION %s/%s: %s\n", bench, kind, v)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-experiments:", err)
+		os.Exit(1)
+	}
+}

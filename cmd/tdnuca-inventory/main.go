@@ -1,0 +1,45 @@
+// Command tdnuca-inventory prints the reproduction's configuration
+// inventory: Table I (the simulated machine) and Table II (the benchmark
+// problems at the selected scale).
+//
+// Usage:
+//
+//	tdnuca-inventory -table 1
+//	tdnuca-inventory -table 2 -factor 1.0   # Table II at paper scale (slow)
+//	tdnuca-inventory                         # both tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdnuca"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "table to print (1 or 2); 0 = both")
+		factor = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor for Table II")
+		full   = flag.Bool("paper-arch", false, "use the full Table I machine (32MB LLC) instead of the scaled one")
+	)
+	flag.Parse()
+
+	cfg := tdnuca.DefaultExperimentConfig()
+	cfg.Factor = tdnuca.WorkloadFactor(*factor)
+	if *full {
+		cfg.Arch = tdnuca.DefaultConfig()
+	}
+
+	if *table == 0 || *table == 1 {
+		fmt.Println(tdnuca.TableI(cfg))
+	}
+	if *table == 0 || *table == 2 {
+		tbl, err := tdnuca.TableII(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdnuca-inventory:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+	}
+}

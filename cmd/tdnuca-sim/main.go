@@ -1,0 +1,96 @@
+// Command tdnuca-sim runs one benchmark under one NUCA policy and prints
+// every metric the run produced.
+//
+// Usage:
+//
+//	tdnuca-sim -bench LU -policy tdnuca
+//	tdnuca-sim -bench MD5 -policy snuca -factor 0.03125 -check
+//	tdnuca-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdnuca"
+)
+
+var policies = map[string]tdnuca.PolicyKind{
+	"snuca":         tdnuca.SNUCA,
+	"rnuca":         tdnuca.RNUCA,
+	"tdnuca":        tdnuca.TDNUCA,
+	"tdnuca-bypass": tdnuca.TDBypassOnly,
+	"tdnuca-noisa":  tdnuca.TDNoISA,
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "LU", "benchmark name (see -list)")
+		pol    = flag.String("policy", "tdnuca", "snuca | rnuca | tdnuca | tdnuca-bypass | tdnuca-noisa")
+		factor = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II)")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		check  = flag.Bool("check", false, "enable the functional coherence checker")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(tdnuca.Benchmarks(), "\n"))
+		return
+	}
+	kind, ok := policies[strings.ToLower(*pol)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tdnuca-sim: unknown policy %q\n", *pol)
+		os.Exit(2)
+	}
+	cfg := tdnuca.DefaultExperimentConfig()
+	cfg.Factor = tdnuca.WorkloadFactor(*factor)
+	cfg.Seed = *seed
+	cfg.Arch.CheckInvariants = *check
+
+	r, err := tdnuca.RunBenchmark(*bench, kind, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-sim:", err)
+		os.Exit(1)
+	}
+
+	m := r.Metrics
+	fmt.Printf("%s under %s\n", r.Benchmark, r.Policy)
+	fmt.Printf("  tasks               %d (avg %.0f KB of dependencies)\n", r.Tasks, r.AvgTaskKB)
+	fmt.Printf("  makespan            %d cycles\n", r.Cycles)
+	fmt.Printf("  accesses            %d (L1 hit %.1f%%)\n", m.Accesses,
+		100*float64(m.L1Hits)/float64(m.L1Hits+m.L1Misses))
+	fmt.Printf("  LLC                 %d accesses, hit ratio %.1f%%\n", m.LLCAccesses, 100*m.LLCHitRatio())
+	fmt.Printf("  bypassed accesses   %d\n", m.BypassAccesses)
+	fmt.Printf("  DRAM                %d reads, %d writes\n", m.DRAMReads, m.DRAMWrites)
+	fmt.Printf("  NUCA distance       %.2f hops\n", m.NUCADistance())
+	fmt.Printf("  NoC data movement   %d byte-hops over %d messages\n", r.DataMovement, r.NoCMessages)
+	fmt.Printf("  energy              LLC %.1f uJ, NoC %.1f uJ, DRAM %.1f uJ, RRT %.1f uJ\n",
+		r.Energy.LLC/1e3, r.Energy.NoC/1e3, r.Energy.DRAM/1e3, r.Energy.RRT/1e3)
+	fmt.Printf("  TLB                 %d hits, %d misses\n", r.TLBHits, r.TLBMisses)
+	fmt.Printf("  runtime overhead    creation %d cycles, hooks %d cycles\n", r.CreationCost, r.HookCost)
+	if kind == tdnuca.TDNUCA || kind == tdnuca.TDBypassOnly {
+		s := r.ManagerStats
+		fmt.Printf("  TD-NUCA decisions   %d (bypass %d, local %d, cluster %d, reuse %d, untracked %d)\n",
+			s.Decisions, s.Bypasses, s.LocalMappings, s.ClusterMappings, s.Reuses, s.Untracked)
+		fmt.Printf("  TD-NUCA ISA         %d registers, %d invalidates, %d flushes (%d transition)\n",
+			s.Registers, s.Invalidates, s.Flushes, s.TransitionFlushes)
+		fmt.Printf("  RRT occupancy       avg %.2f, max %d entries (%d register failures)\n",
+			r.RRTAvgOcc, r.RRTMaxOcc, r.RegisterFailures)
+		c := r.TDClassification
+		fmt.Printf("  classification      Out %d, In %d, Both %d, NotReused %d blocks\n",
+			c.Out, c.In, c.Both, c.NotReused)
+	}
+	if kind == tdnuca.RNUCA {
+		fmt.Printf("  R-NUCA classes      private %d, shared-RO %d, shared %d blocks\n",
+			r.RNUCAPrivate, r.RNUCASharedRO, r.RNUCAShared)
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("  COHERENCE VIOLATION %s\n", v)
+	}
+	if len(r.Violations) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+package tdnuca
+
+import (
+	"tdnuca/internal/harness"
+	"tdnuca/internal/stats"
+	"tdnuca/internal/workloads"
+)
+
+// Table is an aligned text table, the output form of every figure.
+type Table = stats.Table
+
+// WorkloadFactor scales the benchmark footprints; 1.0 reproduces
+// Table II exactly, DefaultWorkloadFactor (1/32) matches ScaledConfig.
+type WorkloadFactor = workloads.Factor
+
+// DefaultWorkloadFactor is the scale used by the default experiments.
+const DefaultWorkloadFactor = workloads.DefaultFactor
+
+// Benchmarks lists the Table II benchmark names.
+func Benchmarks() []string { return workloads.Names() }
+
+// DefaultExperimentConfig returns the configuration every figure uses by
+// default: the scaled machine and the 1/32 workload factor.
+func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig() }
+
+// RunBenchmark executes one benchmark under one policy.
+func RunBenchmark(bench string, kind PolicyKind, cfg ExperimentConfig) (Result, error) {
+	return harness.Run(bench, kind, cfg)
+}
+
+// RunSuite executes all benchmarks under each policy.
+func RunSuite(cfg ExperimentConfig, kinds ...PolicyKind) (Suite, error) {
+	return harness.RunSuite(cfg, kinds...)
+}
+
+// The figure and table generators of the paper's evaluation section.
+// Fig3 and Figs. 8-14 need a Suite with SNUCA, RNUCA and TDNUCA results;
+// Fig15 additionally needs TDBypassOnly.
+var (
+	TableI  = harness.TableI
+	TableII = harness.TableII
+	Fig3    = harness.Fig3
+	Fig8    = harness.Fig8
+	Fig9    = harness.Fig9
+	Fig10   = harness.Fig10
+	Fig11   = harness.Fig11
+	Fig12   = harness.Fig12
+	Fig13   = harness.Fig13
+	Fig14   = harness.Fig14
+	Fig15   = harness.Fig15
+
+	// Sec. V-E design trade-off studies.
+	RRTLatencySweep      = harness.RRTLatencySweep
+	OccupancyTable       = harness.OccupancyTable
+	FlushOverheadTable   = harness.FlushOverheadTable
+	RuntimeOverheadTable = harness.RuntimeOverheadTable
+
+	// Ablations of this reproduction's documented design choices
+	// (DESIGN.md §6) and of the replication cluster geometry.
+	AblationTable = harness.AblationTable
+	ClusterSweep  = harness.ClusterSweep
+)

@@ -1,0 +1,3 @@
+module tdnuca
+
+go 1.22

@@ -1,0 +1,135 @@
+// Package amath provides address arithmetic shared by the whole simulator:
+// physical/virtual addresses, half-open address ranges, cache-block and
+// page alignment, and the inner-block trimming rule TD-NUCA applies to
+// task dependencies (Sec. III-D: only cache blocks entirely contained in a
+// dependency have their placement modified).
+package amath
+
+import "fmt"
+
+// Addr is a byte address. The simulator uses the same type for virtual and
+// physical addresses; packages that care about the distinction name their
+// variables accordingly. The paper's machine uses 42-bit physical
+// addresses, which comfortably fit.
+type Addr uint64
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func (a Addr) AlignDown(align int) Addr { return a &^ Addr(align-1) }
+
+// AlignUp rounds a up to a multiple of align (a power of two).
+func (a Addr) AlignUp(align int) Addr { return (a + Addr(align-1)) &^ Addr(align-1) }
+
+// IsAligned reports whether a is a multiple of align (a power of two).
+func (a Addr) IsAligned(align int) bool { return a&Addr(align-1) == 0 }
+
+// Block returns the block number of the address (a / blockBytes).
+func (a Addr) Block(blockBytes int) uint64 { return uint64(a) / uint64(blockBytes) }
+
+// Page returns the page number of the address (a / pageBytes).
+func (a Addr) Page(pageBytes int) uint64 { return uint64(a) / uint64(pageBytes) }
+
+// Range is a half-open byte range [Start, Start+Size).
+type Range struct {
+	Start Addr
+	Size  uint64
+}
+
+// NewRange constructs a range from start and size.
+func NewRange(start Addr, size uint64) Range { return Range{Start: start, Size: size} }
+
+// End returns the exclusive end address.
+func (r Range) End() Addr { return r.Start + Addr(r.Size) }
+
+// IsEmpty reports whether the range covers no bytes.
+func (r Range) IsEmpty() bool { return r.Size == 0 }
+
+// Contains reports whether the address lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// ContainsRange reports whether other lies entirely inside r.
+func (r Range) ContainsRange(other Range) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	return other.Start >= r.Start && other.End() <= r.End()
+}
+
+// Overlaps reports whether the two ranges share at least one byte.
+func (r Range) Overlaps(other Range) bool {
+	if r.IsEmpty() || other.IsEmpty() {
+		return false
+	}
+	return r.Start < other.End() && other.Start < r.End()
+}
+
+// Intersect returns the overlapping part of the two ranges (empty if none).
+func (r Range) Intersect(other Range) Range {
+	start := r.Start
+	if other.Start > start {
+		start = other.Start
+	}
+	end := r.End()
+	if other.End() < end {
+		end = other.End()
+	}
+	if end <= start {
+		return Range{}
+	}
+	return Range{Start: start, Size: uint64(end - start)}
+}
+
+// InnerBlocks returns the largest sub-range of r whose start and end are
+// both aligned to blockBytes, i.e. the blocks entirely contained within r.
+// TD-NUCA only registers these blocks in the RRT so that a partially
+// covered first or last block is never given modified cache behaviour.
+// The result is empty if no whole block fits.
+func (r Range) InnerBlocks(blockBytes int) Range {
+	start := r.Start.AlignUp(blockBytes)
+	end := r.End().AlignDown(blockBytes)
+	if end <= start {
+		return Range{}
+	}
+	return Range{Start: start, Size: uint64(end - start)}
+}
+
+// NumBlocks returns how many blockBytes-sized blocks the range touches
+// (including partially covered first/last blocks).
+func (r Range) NumBlocks(blockBytes int) int {
+	if r.IsEmpty() {
+		return 0
+	}
+	first := r.Start.Block(blockBytes)
+	last := (r.End() - 1).Block(blockBytes)
+	return int(last - first + 1)
+}
+
+// EachBlock calls fn with the base address of every block the range
+// touches, in ascending order.
+func (r Range) EachBlock(blockBytes int, fn func(block Addr)) {
+	if r.IsEmpty() {
+		return
+	}
+	for b := r.Start.AlignDown(blockBytes); b < r.End(); b += Addr(blockBytes) {
+		fn(b)
+	}
+}
+
+// EachPage calls fn with the base address of every page the range touches,
+// in ascending order. TD-NUCA's tdnuca_register iterates this way through
+// the TLB to translate a virtual dependency range.
+func (r Range) EachPage(pageBytes int, fn func(page Addr)) {
+	if r.IsEmpty() {
+		return
+	}
+	for p := r.Start.AlignDown(pageBytes); p < r.End(); p += Addr(pageBytes) {
+		fn(p)
+	}
+}
+
+// NumPages returns how many pageBytes-sized pages the range touches.
+func (r Range) NumPages(pageBytes int) int { return r.NumBlocks(pageBytes) }
+
+// String renders the range as [start, end) in hex.
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End()))
+}

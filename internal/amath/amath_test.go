@@ -1,0 +1,177 @@
+package amath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlign(t *testing.T) {
+	if got := Addr(100).AlignDown(64); got != 64 {
+		t.Errorf("AlignDown(100,64) = %d", got)
+	}
+	if got := Addr(100).AlignUp(64); got != 128 {
+		t.Errorf("AlignUp(100,64) = %d", got)
+	}
+	if got := Addr(128).AlignUp(64); got != 128 {
+		t.Errorf("AlignUp(128,64) = %d", got)
+	}
+	if !Addr(4096).IsAligned(4096) || Addr(4097).IsAligned(4096) {
+		t.Error("IsAligned wrong")
+	}
+}
+
+func TestAlignProperty(t *testing.T) {
+	f := func(a uint32, shift uint8) bool {
+		align := 1 << (shift % 13)
+		addr := Addr(a)
+		down := addr.AlignDown(align)
+		up := addr.AlignUp(align)
+		return down <= addr && addr <= up &&
+			down.IsAligned(align) && up.IsAligned(align) &&
+			uint64(up-down) < 2*uint64(align) &&
+			(addr.IsAligned(align) == (down == addr && up == addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := NewRange(100, 50)
+	if r.End() != 150 || r.IsEmpty() {
+		t.Fatalf("range basics broken: %v", r)
+	}
+	if !r.Contains(100) || !r.Contains(149) || r.Contains(150) || r.Contains(99) {
+		t.Error("Contains boundary wrong")
+	}
+	if !r.ContainsRange(NewRange(100, 50)) || !r.ContainsRange(NewRange(120, 0)) {
+		t.Error("ContainsRange self/empty wrong")
+	}
+	if r.ContainsRange(NewRange(99, 2)) || r.ContainsRange(NewRange(149, 2)) {
+		t.Error("ContainsRange should reject straddling ranges")
+	}
+}
+
+func TestOverlapsAndIntersect(t *testing.T) {
+	a := NewRange(100, 50)
+	cases := []struct {
+		b       Range
+		overlap bool
+		inter   Range
+	}{
+		{NewRange(150, 10), false, Range{}},
+		{NewRange(50, 50), false, Range{}},
+		{NewRange(149, 10), true, NewRange(149, 1)},
+		{NewRange(90, 20), true, NewRange(100, 10)},
+		{NewRange(0, 1000), true, a},
+		{NewRange(120, 0), false, Range{}},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("Overlaps(%v,%v) = %v, want %v", a, c.b, got, c.overlap)
+		}
+		if got := a.Intersect(c.b); got != c.inter {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", a, c.b, got, c.inter)
+		}
+		if a.Overlaps(c.b) != c.b.Overlaps(a) {
+			t.Errorf("Overlaps not symmetric for %v,%v", a, c.b)
+		}
+	}
+}
+
+func TestInnerBlocks(t *testing.T) {
+	// Paper Sec. III-D: unaligned first/last blocks are excluded; at most
+	// two blocks (128 bytes with 64B lines) are lost.
+	r := NewRange(100, 1000) // [100,1100)
+	in := r.InnerBlocks(64)
+	if in.Start != 128 || in.End() != 1088 {
+		t.Errorf("InnerBlocks = %v, want [128,1088)", in)
+	}
+	// An already aligned range is unchanged.
+	r2 := NewRange(128, 640)
+	if got := r2.InnerBlocks(64); got != r2 {
+		t.Errorf("aligned InnerBlocks = %v, want %v", got, r2)
+	}
+	// A sub-block range has no inner blocks.
+	if got := NewRange(100, 20).InnerBlocks(64); !got.IsEmpty() {
+		t.Errorf("tiny InnerBlocks = %v, want empty", got)
+	}
+}
+
+func TestInnerBlocksProperty(t *testing.T) {
+	f := func(start uint16, size uint16) bool {
+		r := NewRange(Addr(start), uint64(size))
+		in := r.InnerBlocks(64)
+		if in.IsEmpty() {
+			// Loss is bounded: a non-empty range missing all blocks must
+			// span fewer than two full blocks.
+			return r.Size < 2*64 || !r.Start.IsAligned(64) && r.Size < 3*64
+		}
+		return in.Start.IsAligned(64) && in.End().IsAligned(64) &&
+			r.ContainsRange(in) &&
+			uint64(in.Start-r.Start) < 64 && uint64(r.End()-in.End()) < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockIteration(t *testing.T) {
+	r := NewRange(100, 200) // touches blocks 64,128,192,256 (base addrs)
+	var blocks []Addr
+	r.EachBlock(64, func(b Addr) { blocks = append(blocks, b) })
+	want := []Addr{64, 128, 192, 256}
+	if len(blocks) != len(want) {
+		t.Fatalf("EachBlock visited %v, want %v", blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("EachBlock visited %v, want %v", blocks, want)
+		}
+	}
+	if got := r.NumBlocks(64); got != 4 {
+		t.Errorf("NumBlocks = %d, want 4", got)
+	}
+	if got := NewRange(0, 0).NumBlocks(64); got != 0 {
+		t.Errorf("empty NumBlocks = %d", got)
+	}
+}
+
+func TestPageIteration(t *testing.T) {
+	r := NewRange(4000, 5000) // pages 0,1,2 with 4KB pages
+	var pages []Addr
+	r.EachPage(4096, func(p Addr) { pages = append(pages, p) })
+	if len(pages) != 3 || pages[0] != 0 || pages[2] != 8192 {
+		t.Errorf("EachPage = %v", pages)
+	}
+	if r.NumPages(4096) != 3 {
+		t.Errorf("NumPages = %d", r.NumPages(4096))
+	}
+}
+
+func TestNumBlocksMatchesIteration(t *testing.T) {
+	f := func(start uint16, size uint16) bool {
+		r := NewRange(Addr(start), uint64(size))
+		n := 0
+		r.EachBlock(64, func(Addr) { n++ })
+		return n == r.NumBlocks(64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockPageNumbers(t *testing.T) {
+	if Addr(127).Block(64) != 1 || Addr(128).Block(64) != 2 {
+		t.Error("Block numbering wrong")
+	}
+	if Addr(8191).Page(4096) != 1 {
+		t.Error("Page numbering wrong")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if got := NewRange(0x1000, 0x100).String(); got != "[0x1000,0x1100)" {
+		t.Errorf("String = %q", got)
+	}
+}

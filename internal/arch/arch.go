@@ -1,0 +1,308 @@
+// Package arch defines the architectural parameters of the simulated tiled
+// chip multiprocessor (Table I of the TD-NUCA paper) together with the
+// geometric helpers every other package relies on: tile coordinates on the
+// mesh, bank/core bit-vector masks, and the LLC replication clusters
+// (quadrants) used by TD-NUCA's cluster-replicated mapping.
+package arch
+
+import "fmt"
+
+// Config carries every architectural parameter of the simulated machine.
+// The zero value is not usable; construct one with DefaultConfig (the
+// paper's Table I machine) or ScaledConfig (the fast machine used for the
+// default experiments) and tweak fields before building a machine.
+type Config struct {
+	// Cores and mesh geometry. NumCores must equal MeshWidth*MeshHeight;
+	// each tile holds one core, one L1, one LLC bank and one directory bank.
+	NumCores   int
+	MeshWidth  int
+	MeshHeight int
+
+	// Block and page geometry in bytes. Both must be powers of two.
+	BlockBytes int
+	PageBytes  int
+
+	// L1 data cache (per core).
+	L1Bytes   int
+	L1Ways    int
+	L1Latency int // cycles per L1 lookup (hit time)
+
+	// TLB (per core, fully associative).
+	TLBEntries int
+	TLBLatency int // cycles per TLB lookup
+
+	// Page table walk penalty charged on a TLB miss.
+	PageWalkLatency int
+
+	// LLC: one bank per tile. LLCBankBytes is capacity per bank.
+	LLCBankBytes int
+	LLCWays      int
+	LLCLatency   int // cycles per bank lookup
+
+	// Coherence directory: one bank per tile, co-located with the LLC bank.
+	DirEntriesPerBank int
+	DirWays           int
+	DirLatency        int // cycles per directory lookup
+
+	// NoC: per-hop costs. A hop traverses one router and one link.
+	RouterLatency int
+	LinkLatency   int
+
+	// NoCContention enables the queueing contention model: each directed
+	// link serializes messages at LinkBandwidthBytes per cycle and queues
+	// arrivals while busy. Off by default (pure topological latency).
+	NoCContention      bool
+	LinkBandwidthBytes int
+
+	// Message sizes on the NoC in bytes: a control message (request,
+	// invalidation, ack) and the header attached to every data message.
+	CtrlMsgBytes int
+	DataHdrBytes int
+
+	// Memory controllers sit on the mesh edges at these tile positions;
+	// a DRAM access is routed to the nearest controller.
+	MemCtrlTiles []int
+	DRAMLatency  int // cycles from request arrival at the controller to data
+
+	// RRT (TD-NUCA only): entries per core and lookup latency in cycles.
+	// RRTLatency is added to every private-cache miss and writeback.
+	RRTEntries int
+	RRTLatency int
+
+	// ClusterWidth/Height define the LLC replication clusters. The paper
+	// divides the 4x4 mesh into 2x2 quadrants (4 clusters of 4 banks).
+	ClusterWidth  int
+	ClusterHeight int
+
+	// CheckInvariants enables expensive runtime verification of coherence
+	// protocol invariants and golden-value read checking.
+	CheckInvariants bool
+}
+
+// DefaultConfig returns the machine of Table I: 16 cores on a 4x4 mesh,
+// 32KB 8-way L1s, a 32MB LLC banked 2MB/core (16-way, 15 cycles), 64-entry
+// TLBs, a 512K-entry directory banked 32K/core, 1-cycle links and routers,
+// and 64-entry 1-cycle RRTs.
+func DefaultConfig() Config {
+	return Config{
+		NumCores:   16,
+		MeshWidth:  4,
+		MeshHeight: 4,
+
+		BlockBytes: 64,
+		PageBytes:  4096,
+
+		L1Bytes:   32 << 10,
+		L1Ways:    8,
+		L1Latency: 2,
+
+		TLBEntries:      64,
+		TLBLatency:      1,
+		PageWalkLatency: 50,
+
+		LLCBankBytes: 2 << 20,
+		LLCWays:      16,
+		LLCLatency:   15,
+
+		DirEntriesPerBank: 32 << 10,
+		DirWays:           16,
+		DirLatency:        15,
+
+		RouterLatency: 1,
+		LinkLatency:   1,
+
+		LinkBandwidthBytes: 16,
+
+		CtrlMsgBytes: 8,
+		DataHdrBytes: 8,
+
+		MemCtrlTiles: []int{0, 3, 12, 15},
+		DRAMLatency:  120,
+
+		RRTEntries: 64,
+		RRTLatency: 1,
+
+		ClusterWidth:  2,
+		ClusterHeight: 2,
+	}
+}
+
+// ScaledConfig returns the scaled-down machine used by the default
+// experiments: identical topology, latencies and associativities to
+// DefaultConfig, but with a 1MB LLC (64KB/bank) and 8KB L1s so that the
+// scaled workload geometries (internal/workloads) preserve the paper's
+// input-set-to-LLC capacity ratios while simulating in seconds.
+func ScaledConfig() Config {
+	c := DefaultConfig()
+	c.L1Bytes = 8 << 10
+	c.LLCBankBytes = 64 << 10
+	c.DirEntriesPerBank = 2 << 10
+	return c
+}
+
+// Validate reports a descriptive error if the configuration is internally
+// inconsistent (mesh/core mismatch, non-power-of-two geometry, cache sizes
+// not divisible into sets, cluster grid not tiling the mesh, ...).
+func (c *Config) Validate() error {
+	if c.NumCores <= 0 || c.NumCores != c.MeshWidth*c.MeshHeight {
+		return fmt.Errorf("arch: NumCores (%d) must equal MeshWidth*MeshHeight (%dx%d)",
+			c.NumCores, c.MeshWidth, c.MeshHeight)
+	}
+	if c.NumCores > 64 {
+		return fmt.Errorf("arch: NumCores (%d) exceeds the 64-bit mask limit", c.NumCores)
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"BlockBytes", c.BlockBytes},
+		{"PageBytes", c.PageBytes},
+	} {
+		if p.v <= 0 || p.v&(p.v-1) != 0 {
+			return fmt.Errorf("arch: %s (%d) must be a positive power of two", p.name, p.v)
+		}
+	}
+	if c.PageBytes < c.BlockBytes {
+		return fmt.Errorf("arch: PageBytes (%d) smaller than BlockBytes (%d)", c.PageBytes, c.BlockBytes)
+	}
+	if c.L1Ways <= 0 || c.L1Bytes%(c.L1Ways*c.BlockBytes) != 0 {
+		return fmt.Errorf("arch: L1 %dB/%d-way not divisible into %dB-block sets", c.L1Bytes, c.L1Ways, c.BlockBytes)
+	}
+	if c.LLCWays <= 0 || c.LLCBankBytes%(c.LLCWays*c.BlockBytes) != 0 {
+		return fmt.Errorf("arch: LLC bank %dB/%d-way not divisible into %dB-block sets", c.LLCBankBytes, c.LLCWays, c.BlockBytes)
+	}
+	if c.DirWays <= 0 || c.DirEntriesPerBank%c.DirWays != 0 {
+		return fmt.Errorf("arch: directory bank %d entries not divisible by %d ways", c.DirEntriesPerBank, c.DirWays)
+	}
+	if c.TLBEntries <= 0 {
+		return fmt.Errorf("arch: TLBEntries must be positive")
+	}
+	if c.RRTEntries <= 0 {
+		return fmt.Errorf("arch: RRTEntries must be positive")
+	}
+	if c.RRTLatency < 0 {
+		return fmt.Errorf("arch: RRTLatency must be non-negative")
+	}
+	if c.ClusterWidth <= 0 || c.ClusterHeight <= 0 ||
+		c.MeshWidth%c.ClusterWidth != 0 || c.MeshHeight%c.ClusterHeight != 0 {
+		return fmt.Errorf("arch: %dx%d clusters do not tile the %dx%d mesh",
+			c.ClusterWidth, c.ClusterHeight, c.MeshWidth, c.MeshHeight)
+	}
+	if len(c.MemCtrlTiles) == 0 {
+		return fmt.Errorf("arch: at least one memory controller tile is required")
+	}
+	for _, t := range c.MemCtrlTiles {
+		if t < 0 || t >= c.NumCores {
+			return fmt.Errorf("arch: memory controller tile %d out of range [0,%d)", t, c.NumCores)
+		}
+	}
+	return nil
+}
+
+// BlockOffsetBits returns log2(BlockBytes).
+func (c *Config) BlockOffsetBits() uint { return log2(c.BlockBytes) }
+
+// PageOffsetBits returns log2(PageBytes).
+func (c *Config) PageOffsetBits() uint { return log2(c.PageBytes) }
+
+// L1Sets returns the number of sets in each L1 cache.
+func (c *Config) L1Sets() int { return c.L1Bytes / (c.L1Ways * c.BlockBytes) }
+
+// LLCSetsPerBank returns the number of sets in each LLC bank.
+func (c *Config) LLCSetsPerBank() int { return c.LLCBankBytes / (c.LLCWays * c.BlockBytes) }
+
+// LLCTotalBytes returns the aggregate LLC capacity across all banks.
+func (c *Config) LLCTotalBytes() int { return c.LLCBankBytes * c.NumCores }
+
+// NumClusters returns the number of LLC replication clusters.
+func (c *Config) NumClusters() int {
+	return (c.MeshWidth / c.ClusterWidth) * (c.MeshHeight / c.ClusterHeight)
+}
+
+// BanksPerCluster returns the number of LLC banks in each cluster.
+func (c *Config) BanksPerCluster() int { return c.ClusterWidth * c.ClusterHeight }
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TileX returns the mesh column of a tile.
+func (c *Config) TileX(tile int) int { return tile % c.MeshWidth }
+
+// TileY returns the mesh row of a tile.
+func (c *Config) TileY(tile int) int { return tile / c.MeshWidth }
+
+// TileAt returns the tile id at mesh coordinates (x, y).
+func (c *Config) TileAt(x, y int) int { return y*c.MeshWidth + x }
+
+// Hops returns the Manhattan distance between two tiles, which is the
+// number of NoC hops an XY-routed message traverses. Hops(t, t) == 0,
+// matching the paper's NUCA-distance metric where a local access counts 0.
+func (c *Config) Hops(from, to int) int {
+	dx := c.TileX(from) - c.TileX(to)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := c.TileY(from) - c.TileY(to)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// HopLatency returns the NoC latency in cycles of a message traversing h
+// hops: each hop costs one router plus one link traversal. A zero-hop
+// (local) message pays no NoC latency.
+func (c *Config) HopLatency(h int) int {
+	return h * (c.RouterLatency + c.LinkLatency)
+}
+
+// ClusterOf returns the replication-cluster id the tile belongs to.
+func (c *Config) ClusterOf(tile int) int {
+	cx := c.TileX(tile) / c.ClusterWidth
+	cy := c.TileY(tile) / c.ClusterHeight
+	return cy*(c.MeshWidth/c.ClusterWidth) + cx
+}
+
+// ClusterBanks returns the tile ids (LLC banks) of the given cluster, in
+// ascending order. The within-cluster interleaving position of a block is
+// its index in this slice.
+func (c *Config) ClusterBanks(cluster int) []int {
+	cpr := c.MeshWidth / c.ClusterWidth // clusters per row
+	cx := (cluster % cpr) * c.ClusterWidth
+	cy := (cluster / cpr) * c.ClusterHeight
+	banks := make([]int, 0, c.BanksPerCluster())
+	for y := cy; y < cy+c.ClusterHeight; y++ {
+		for x := cx; x < cx+c.ClusterWidth; x++ {
+			banks = append(banks, c.TileAt(x, y))
+		}
+	}
+	return banks
+}
+
+// ClusterMask returns the bank mask with the bits of every bank in the
+// tile's local cluster set.
+func (c *Config) ClusterMask(tile int) Mask {
+	var m Mask
+	for _, b := range c.ClusterBanks(c.ClusterOf(tile)) {
+		m = m.Set(b)
+	}
+	return m
+}
+
+// NearestMemCtrl returns the memory-controller tile closest (in hops) to
+// the given tile, breaking ties by lower tile id for determinism.
+func (c *Config) NearestMemCtrl(tile int) int {
+	best, bestHops := -1, 1<<30
+	for _, mc := range c.MemCtrlTiles {
+		if h := c.Hops(tile, mc); h < bestHops || (h == bestHops && mc < best) {
+			best, bestHops = mc, h
+		}
+	}
+	return best
+}

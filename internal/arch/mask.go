@@ -1,0 +1,91 @@
+package arch
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Mask is a bit vector over tiles, used both as the BankMask of the
+// TD-NUCA ISA instructions (which LLC banks a dependency maps to) and as
+// the CoreMask of invalidate/flush operations (which tiles are targeted).
+// Bit i corresponds to tile i. The paper's 16-tile machine uses the low
+// 16 bits; up to 64 tiles are supported.
+type Mask uint64
+
+// MaskAll returns a mask with bits 0..n-1 set.
+func MaskAll(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// MaskOf returns a mask with exactly the given bits set.
+func MaskOf(tiles ...int) Mask {
+	var m Mask
+	for _, t := range tiles {
+		m = m.Set(t)
+	}
+	return m
+}
+
+// Set returns m with bit i set.
+func (m Mask) Set(i int) Mask { return m | Mask(1)<<uint(i) }
+
+// Clear returns m with bit i cleared.
+func (m Mask) Clear(i int) Mask { return m &^ (Mask(1) << uint(i)) }
+
+// Has reports whether bit i is set.
+func (m Mask) Has(i int) bool { return m&(Mask(1)<<uint(i)) != 0 }
+
+// Count returns the number of set bits.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// IsEmpty reports whether no bits are set. An all-zero BankMask means the
+// dependency bypasses the LLC.
+func (m Mask) IsEmpty() bool { return m == 0 }
+
+// Single returns the index of the only set bit, or -1 if the popcount is
+// not exactly one. A single-bit BankMask means a local-LLC-bank mapping.
+func (m Mask) Single() int {
+	if m.Count() != 1 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
+// Bits returns the indices of all set bits in ascending order.
+func (m Mask) Bits() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &= v - 1
+	}
+	return out
+}
+
+// NthBit returns the index of the n-th (0-based) set bit in ascending
+// order, or -1 if n >= Count(). Cluster interleaving uses this to pick the
+// destination bank from the low block-address bits.
+func (m Mask) NthBit(n int) int {
+	v := uint64(m)
+	for ; v != 0; v &= v - 1 {
+		if n == 0 {
+			return bits.TrailingZeros64(v)
+		}
+		n--
+	}
+	return -1
+}
+
+// String renders the mask as a binary string (LSB = tile 0, rightmost),
+// padded to 16 bits for the common 16-tile machine.
+func (m Mask) String() string {
+	s := fmt.Sprintf("%b", uint64(m))
+	if len(s) < 16 {
+		s = strings.Repeat("0", 16-len(s)) + s
+	}
+	return s
+}

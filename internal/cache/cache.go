@@ -1,0 +1,360 @@
+// Package cache implements the set-associative cache structure used for
+// both the private L1 data caches and the NUCA LLC banks: MESI line
+// states, tree pseudo-LRU replacement (Table I), range invalidation and
+// flushing for the TD-NUCA and R-NUCA cache-management operations, and
+// per-cache statistics.
+package cache
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+)
+
+// State is the MESI coherence state of a cache line.
+type State uint8
+
+// MESI states. Invalid lines are not resident.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// IsValid reports whether the state denotes a resident line.
+func (s State) IsValid() bool { return s != Invalid }
+
+// line stores the full block number as its tag — a simulator can afford
+// the wide tag, and it keeps the line identity independent of the
+// configurable set-index function.
+type line struct {
+	tag   uint64 // block number
+	state State
+}
+
+// Stats aggregates the activity of one cache.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // valid lines displaced by fills
+	Writebacks  uint64 // Modified lines displaced or flushed
+	Invalidates uint64 // lines removed by coherence/flush actions
+}
+
+// Accesses returns Hits+Misses.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRatio returns Hits/Accesses, or 0 when the cache was never accessed.
+func (s *Stats) HitRatio() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a single set-associative cache array. It stores only tags and
+// MESI states; the simulator carries data versions separately. All
+// addresses passed in must be physical block-aligned addresses (any
+// address within the block works; the low bits are masked off).
+type Cache struct {
+	blockBytes int
+	numSets    int
+	ways       int
+	setMask    uint64
+	setBits    uint     // log2(numSets)
+	indexHash  bool     // XOR-folded set index (LLC banks)
+	sets       []line   // numSets * ways, row-major
+	plru       []uint32 // tree pseudo-LRU bits per set
+	resident   int
+
+	stats Stats
+}
+
+// New constructs a cache with the given total capacity in bytes. ways and
+// blockBytes must divide capacity into a power-of-two number of sets, and
+// ways itself must be a power of two (tree pseudo-LRU requirement; the
+// paper's L1s are 8-way and the LLC banks 16-way).
+func New(capacityBytes, ways, blockBytes int) (*Cache, error) {
+	if ways <= 0 || ways&(ways-1) != 0 {
+		return nil, fmt.Errorf("cache: ways (%d) must be a positive power of two", ways)
+	}
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: block size (%d) must be a positive power of two", blockBytes)
+	}
+	if capacityBytes%(ways*blockBytes) != 0 {
+		return nil, fmt.Errorf("cache: capacity %dB not divisible into %d-way sets of %dB blocks",
+			capacityBytes, ways, blockBytes)
+	}
+	numSets := capacityBytes / (ways * blockBytes)
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a power of two", numSets)
+	}
+	return &Cache{
+		blockBytes: blockBytes,
+		numSets:    numSets,
+		ways:       ways,
+		setMask:    uint64(numSets - 1),
+		setBits:    log2(numSets),
+		sets:       make([]line, numSets*ways),
+		plru:       make([]uint32, numSets),
+	}, nil
+}
+
+// MustNew is New but panics on error; for configurations already
+// validated by arch.Config.Validate.
+func MustNew(capacityBytes, ways, blockBytes int) *Cache {
+	c, err := New(capacityBytes, ways, blockBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// EnableIndexHash switches the cache to an XOR-folded set index, the
+// scheme real last-level caches use. A NUCA bank cannot index with the
+// raw low block bits: under address interleaving every block arriving at
+// the bank shares its bank-selection bits (leaving 1/banks of the sets
+// usable), while under single-bank placement a contiguous region varies
+// *only* in those low bits. Folding several block-number chunks together
+// spreads both populations over all sets. Call before first use.
+func (c *Cache) EnableIndexHash() { c.indexHash = true }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Resident returns the number of valid lines currently stored.
+func (c *Cache) Resident() int { return c.resident }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) index(addr amath.Addr) (set int, tag uint64) {
+	block := addr.Block(c.blockBytes)
+	if !c.indexHash {
+		return int(block & c.setMask), block
+	}
+	h := block ^ block>>c.setBits ^ block>>(2*c.setBits) ^ block>>(3*c.setBits)
+	return int(h & c.setMask), block
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) find(set int, tag uint64) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if l := &c.sets[base+w]; l.state.IsValid() && l.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Probe returns the MESI state of the block without touching replacement
+// state or statistics (a coherence snoop, not a demand access).
+func (c *Cache) Probe(addr amath.Addr) State {
+	set, tag := c.index(addr)
+	if w := c.find(set, tag); w >= 0 {
+		return c.sets[set*c.ways+w].state
+	}
+	return Invalid
+}
+
+// Access performs a demand lookup: on a hit it promotes the line in the
+// pseudo-LRU tree and returns its state; on a miss it returns Invalid.
+// Hit/miss statistics are updated.
+func (c *Cache) Access(addr amath.Addr) State {
+	set, tag := c.index(addr)
+	if w := c.find(set, tag); w >= 0 {
+		c.touch(set, w)
+		c.stats.Hits++
+		return c.sets[set*c.ways+w].state
+	}
+	c.stats.Misses++
+	return Invalid
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Addr     amath.Addr // block base address of the displaced line
+	State    State
+	Occurred bool // false when the fill used an empty way
+}
+
+// Insert fills the block with the given state, evicting the pseudo-LRU
+// way if the set is full. If the block is already resident its state is
+// simply updated (no eviction). The displaced line, if any, is returned
+// so the caller can issue a writeback when it was Modified.
+func (c *Cache) Insert(addr amath.Addr, st State) Victim {
+	if !st.IsValid() {
+		panic("cache: Insert with Invalid state")
+	}
+	set, tag := c.index(addr)
+	base := set * c.ways
+	if w := c.find(set, tag); w >= 0 {
+		c.sets[base+w].state = st
+		c.touch(set, w)
+		return Victim{}
+	}
+	// Prefer an empty way.
+	for w := 0; w < c.ways; w++ {
+		if !c.sets[base+w].state.IsValid() {
+			c.sets[base+w] = line{tag: tag, state: st}
+			c.resident++
+			c.touch(set, w)
+			return Victim{}
+		}
+	}
+	// Evict the pseudo-LRU way.
+	w := c.plruVictim(set)
+	victim := c.sets[base+w]
+	c.stats.Evictions++
+	if victim.state == Modified {
+		c.stats.Writebacks++
+	}
+	vAddr := c.blockAddr(set, victim.tag)
+	c.sets[base+w] = line{tag: tag, state: st}
+	c.touch(set, w)
+	return Victim{Addr: vAddr, State: victim.state, Occurred: true}
+}
+
+func (c *Cache) blockAddr(set int, tag uint64) amath.Addr {
+	return amath.Addr(tag * uint64(c.blockBytes))
+}
+
+// SetState changes the MESI state of a resident block (coherence
+// downgrades/upgrades). It reports whether the block was resident.
+func (c *Cache) SetState(addr amath.Addr, st State) bool {
+	if !st.IsValid() {
+		panic("cache: SetState to Invalid; use Invalidate")
+	}
+	set, tag := c.index(addr)
+	if w := c.find(set, tag); w >= 0 {
+		c.sets[set*c.ways+w].state = st
+		return true
+	}
+	return false
+}
+
+// Invalidate removes the block, returning the state it held (Invalid if
+// not resident). A Modified line counts as a writeback.
+func (c *Cache) Invalidate(addr amath.Addr) State {
+	set, tag := c.index(addr)
+	w := c.find(set, tag)
+	if w < 0 {
+		return Invalid
+	}
+	st := c.sets[set*c.ways+w].state
+	c.sets[set*c.ways+w] = line{}
+	c.resident--
+	c.stats.Invalidates++
+	if st == Modified {
+		c.stats.Writebacks++
+	}
+	return st
+}
+
+// FlushRange invalidates every resident block whose base address lies in
+// the physical range, invoking fn (if non-nil) with the block address and
+// its prior state before removal. It returns the number of blocks flushed.
+// This implements the bulk flush of tdnuca_flush and the page flushes of
+// R-NUCA reclassification.
+func (c *Cache) FlushRange(r amath.Range, fn func(block amath.Addr, st State)) int {
+	flushed := 0
+	r.EachBlock(c.blockBytes, func(block amath.Addr) {
+		set, tag := c.index(block)
+		if w := c.find(set, tag); w >= 0 {
+			st := c.sets[set*c.ways+w].state
+			if fn != nil {
+				fn(block, st)
+			}
+			c.sets[set*c.ways+w] = line{}
+			c.resident--
+			c.stats.Invalidates++
+			if st == Modified {
+				c.stats.Writebacks++
+			}
+			flushed++
+		}
+	})
+	return flushed
+}
+
+// EachResident calls fn for every valid line, in set-then-way order.
+func (c *Cache) EachResident(fn func(block amath.Addr, st State)) {
+	for set := 0; set < c.numSets; set++ {
+		for w := 0; w < c.ways; w++ {
+			if l := c.sets[set*c.ways+w]; l.state.IsValid() {
+				fn(c.blockAddr(set, l.tag), l.state)
+			}
+		}
+	}
+}
+
+// touch updates the pseudo-LRU tree so the accessed way becomes most
+// recently used: every tree node on the path is pointed away from it.
+func (c *Cache) touch(set, way int) {
+	if c.ways == 1 {
+		return
+	}
+	bits := c.plru[set]
+	node := 0
+	for span := c.ways; span > 1; span /= 2 {
+		half := span / 2
+		if way < half {
+			bits |= 1 << uint(node) // LRU side is the right half
+			node = 2*node + 1
+		} else {
+			bits &^= 1 << uint(node) // LRU side is the left half
+			node = 2*node + 2
+			way -= half
+		}
+	}
+	c.plru[set] = bits
+}
+
+// plruVictim walks the tree in the direction each node's bit points,
+// yielding the pseudo-least-recently-used way.
+func (c *Cache) plruVictim(set int) int {
+	if c.ways == 1 {
+		return 0
+	}
+	bits := c.plru[set]
+	node, way := 0, 0
+	for span := c.ways; span > 1; span /= 2 {
+		half := span / 2
+		if bits&(1<<uint(node)) != 0 {
+			// Bit points right: right half is LRU.
+			way += half
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+	}
+	return way
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+)
+
+func TestRRTLookupHitMiss(t *testing.T) {
+	r := NewRRT(4)
+	r.Insert(0, amath.NewRange(0x1000, 0x1000), arch.MaskOf(3))
+	if mask, ok := r.Lookup(0, 0x1800); !ok || mask != arch.MaskOf(3) {
+		t.Errorf("Lookup inside range = %v, %v", mask, ok)
+	}
+	if _, ok := r.Lookup(0, 0x2000); ok {
+		t.Error("Lookup at exclusive end hit")
+	}
+	if _, ok := r.Lookup(0, 0xfff); ok {
+		t.Error("Lookup before start hit")
+	}
+	if r.Lookups() != 3 || r.Hits() != 1 {
+		t.Errorf("stats: %d lookups %d hits", r.Lookups(), r.Hits())
+	}
+}
+
+func TestRRTNoReplacementWhenFull(t *testing.T) {
+	r := NewRRT(2)
+	if !r.Insert(0, amath.NewRange(0, 64), 1) || !r.Insert(0, amath.NewRange(64, 64), 2) {
+		t.Fatal("inserts into empty table failed")
+	}
+	if r.Insert(0, amath.NewRange(128, 64), 4) {
+		t.Error("insert into full table succeeded")
+	}
+	if r.InsertFailures() != 1 {
+		t.Errorf("failures = %d", r.InsertFailures())
+	}
+	// Existing entries survive (no eviction).
+	if _, ok := r.Lookup(0, 0); !ok {
+		t.Error("full-table insert evicted an entry")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRRTEmptyRangeInsertIsNoop(t *testing.T) {
+	r := NewRRT(1)
+	if !r.Insert(0, amath.Range{}, 1) {
+		t.Error("empty-range insert failed")
+	}
+	if r.Len() != 0 {
+		t.Error("empty-range insert consumed an entry")
+	}
+}
+
+func TestRRTRemoveOverlapping(t *testing.T) {
+	r := NewRRT(8)
+	r.Insert(0, amath.NewRange(0, 128), 1)
+	r.Insert(0, amath.NewRange(256, 128), 2)
+	r.Insert(0, amath.NewRange(512, 128), 4)
+	if n := r.RemoveOverlapping(0, amath.NewRange(100, 300)); n != 2 {
+		t.Errorf("removed %d entries, want 2", n)
+	}
+	if _, ok := r.Lookup(0, 600); !ok {
+		t.Error("non-overlapping entry was removed")
+	}
+	if _, ok := r.Lookup(0, 0); ok {
+		t.Error("overlapping entry survived")
+	}
+}
+
+func TestRRTOccupancyStats(t *testing.T) {
+	r := NewRRT(8)
+	r.Insert(0, amath.NewRange(0, 64), 1)          // occ 1
+	r.Insert(0, amath.NewRange(64, 64), 1)         // occ 2
+	r.Insert(0, amath.NewRange(128, 64), 1)        // occ 3
+	r.RemoveOverlapping(0, amath.NewRange(0, 192)) // occ 0
+	if r.MaxOccupancy() != 3 {
+		t.Errorf("max occupancy = %d, want 3", r.MaxOccupancy())
+	}
+	if got := r.AvgOccupancy(); got != 1.5 { // (1+2+3+0)/4
+		t.Errorf("avg occupancy = %v, want 1.5", got)
+	}
+}
+
+func TestRRTMatchesNaiveModel(t *testing.T) {
+	// Property: RRT lookup agrees with a naive list of (range, mask)
+	// pairs under arbitrary insert/remove/lookup sequences.
+	f := func(ops []uint64) bool {
+		r := NewRRT(16)
+		type pair struct {
+			rng  amath.Range
+			mask arch.Mask
+		}
+		var naive []pair
+		for i, o := range ops {
+			kind := uint8(o)
+			start := uint16(o >> 8)
+			size := uint16(o >> 24)
+			rng := amath.NewRange(amath.Addr(start)*64, (uint64(size)%64+1)*64)
+			switch kind % 3 {
+			case 0: // insert
+				mask := arch.MaskOf(i % 16)
+				if r.Insert(0, rng, mask) {
+					naive = append(naive, pair{rng, mask})
+				}
+			case 1: // remove
+				r.RemoveOverlapping(0, rng)
+				kept := naive[:0]
+				for _, p := range naive {
+					if !p.rng.Overlaps(rng) {
+						kept = append(kept, p)
+					}
+				}
+				naive = kept
+			default: // lookup
+				mask, ok := r.Lookup(0, rng.Start)
+				var wantMask arch.Mask
+				want := false
+				for _, p := range naive {
+					if p.rng.Contains(rng.Start) {
+						wantMask, want = p.mask, true
+						break
+					}
+				}
+				if ok != want || (ok && mask != wantMask) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushRegister(t *testing.T) {
+	var f FlushRegister
+	if !f.Poll() {
+		t.Error("empty register should poll complete")
+	}
+	f.Begin(3)
+	if f.Poll() {
+		t.Error("pending flush polled complete")
+	}
+	f.Complete(3)
+	if !f.Poll() {
+		t.Error("completed flush still pending")
+	}
+	if f.Polls() != 3 {
+		t.Errorf("polls = %d, want 3", f.Polls())
+	}
+}
+
+func TestRTCacheDirectoryUseDesc(t *testing.T) {
+	d := NewRTCacheDirectory()
+	dep := depOn(t, 0x1000, 4096)
+	e := d.Entry(dep)
+	if e.UseDesc != 0 {
+		t.Error("fresh entry has nonzero UseDesc")
+	}
+	e.UseDesc++
+	if d.Entry(dep) != e {
+		t.Error("Entry not stable for the same range")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	d := NewRTCacheDirectory()
+	mk := func(start amath.Addr, in, out bool, uses, bypasses uint64) {
+		e := d.Entry(depOn(t, start, 10*64))
+		e.everIn, e.everOut = in, out
+		e.useCount, e.bypassCount = uses, bypasses
+	}
+	mk(0, true, false, 4, 1)     // In (minority bypass)
+	mk(1<<20, false, true, 2, 1) // Out (tie breaks toward usage class)
+	mk(2<<20, true, true, 4, 2)  // Both (tie)
+	mk(3<<20, true, true, 3, 2)  // NotReused: majority of uses bypassed
+	c := d.Classify(64)
+	if c.In != 10 || c.Out != 10 || c.Both != 10 || c.NotReused != 10 {
+		t.Errorf("classification = %+v", c)
+	}
+	if c.DepBlocks() != 40 {
+		t.Errorf("DepBlocks = %d", c.DepBlocks())
+	}
+}

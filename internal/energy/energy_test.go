@@ -1,0 +1,50 @@
+package energy
+
+import "testing"
+
+func TestComputeLinearity(t *testing.T) {
+	p := DefaultParams()
+	c := Counters{LLCReads: 10, LLCWrites: 4, DirAccesses: 14, NoCByteHops: 100, NoCFlitHops: 20, DRAMAccesses: 2, RRTLookups: 50}
+	tally := Compute(p, c)
+	wantLLC := 10*p.LLCReadNJ + 4*p.LLCWriteNJ + 14*p.DirAccessNJ
+	if tally.LLC != wantLLC {
+		t.Errorf("LLC = %v, want %v", tally.LLC, wantLLC)
+	}
+	wantNoC := 100*p.NoCPerByteHopNJ + 20*p.RouterPerFlitNJ
+	if tally.NoC != wantNoC {
+		t.Errorf("NoC = %v, want %v", tally.NoC, wantNoC)
+	}
+	if tally.DRAM != 2*p.DRAMAccessNJ {
+		t.Errorf("DRAM = %v", tally.DRAM)
+	}
+	wantRRT := 50 * p.RRTSRAMNJ * p.RRTTCAMFactor
+	if tally.RRT != wantRRT {
+		t.Errorf("RRT = %v, want %v", tally.RRT, wantRRT)
+	}
+	if got := tally.Total(); got != tally.LLC+tally.NoC+tally.DRAM+tally.RRT {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestZeroCountersZeroEnergy(t *testing.T) {
+	if got := Compute(DefaultParams(), Counters{}); got.Total() != 0 {
+		t.Errorf("zero counters produced energy %v", got)
+	}
+}
+
+func TestRRTTCAMFactorIs30(t *testing.T) {
+	// Sec. V-E: SRAM energy multiplied by 30 to approximate a TCAM.
+	if DefaultParams().RRTTCAMFactor != 30 {
+		t.Errorf("TCAM factor = %v, want 30", DefaultParams().RRTTCAMFactor)
+	}
+}
+
+func TestDoubleEventsDoubleEnergy(t *testing.T) {
+	p := DefaultParams()
+	c1 := Counters{LLCReads: 5, NoCByteHops: 7, DRAMAccesses: 3, RRTLookups: 2, LLCWrites: 1, DirAccesses: 6, NoCFlitHops: 4}
+	c2 := Counters{LLCReads: 10, NoCByteHops: 14, DRAMAccesses: 6, RRTLookups: 4, LLCWrites: 2, DirAccesses: 12, NoCFlitHops: 8}
+	t1, t2 := Compute(p, c1), Compute(p, c2)
+	if t2.Total() != 2*t1.Total() {
+		t.Errorf("doubling counters: %v vs %v", t2.Total(), 2*t1.Total())
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"tdnuca/internal/stats"
+)
+
+// ablationVariant is one row of the design-choice ablation.
+type ablationVariant struct {
+	name   string
+	mutate func(*Config)
+}
+
+// AblationTable quantifies the design choices DESIGN.md §6 documents:
+// the deferred task-end flush, the data-affinity scheduler, and the
+// per-dependency decision cost. Each variant reruns the full suite and
+// reports the TD-NUCA speedup against an S-NUCA baseline that shares
+// every knob except the TD-specific ones, so scheduler effects cancel.
+func AblationTable(cfg Config) (stats.Table, error) {
+	t := stats.Table{
+		Title:  "Ablation: TD-NUCA design choices (speedup vs matching S-NUCA)",
+		Header: []string{"Variant", "avg", "Gauss", "LU", "MD5"},
+	}
+	variants := []ablationVariant{
+		{"full design (deferred flush + affinity)", func(*Config) {}},
+		{"eager task-end flush (paper-literal)", func(c *Config) { c.EagerFlush = true }},
+		{"no affinity scheduling", func(c *Config) { c.RT.DisableAffinity = true }},
+		{"eager flush + no affinity", func(c *Config) { c.EagerFlush = true; c.RT.DisableAffinity = true }},
+		{"no NoC contention", func(c *Config) { c.Arch.NoCContention = false }},
+	}
+	for _, v := range variants {
+		row, err := ablationRow(cfg, v)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func ablationRow(base Config, v ablationVariant) ([]string, error) {
+	cfg := base
+	v.mutate(&cfg)
+	var speedups []float64
+	perBench := map[string]float64{}
+	for _, b := range PaperBenchOrder {
+		s, err := Run(b, SNUCA, cfg)
+		if err != nil {
+			return nil, err
+		}
+		td, err := Run(b, TDNUCA, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sp := td.Speedup(s)
+		speedups = append(speedups, sp)
+		perBench[b] = sp
+	}
+	return []string{
+		v.name,
+		stats.Ratio(stats.GeoMean(speedups)),
+		stats.Ratio(perBench["Gauss"]),
+		stats.Ratio(perBench["LU"]),
+		stats.Ratio(perBench["MD5"]),
+	}, nil
+}
+
+// ClusterSweep varies the LLC replication cluster geometry: 1x1 clusters
+// give every core its own replica (maximum replication, 16 copies), the
+// default 2x2 quadrants match the paper, and a 4x4 cluster is the whole
+// chip (a single copy — replication disabled). Reported per benchmark as
+// TD-NUCA speedup over the (cluster-independent) S-NUCA baseline.
+func ClusterSweep(cfg Config, dims [][2]int) (stats.Table, error) {
+	t := stats.Table{
+		Title:  "Ablation: LLC replication cluster size (TD-NUCA speedup vs S-NUCA)",
+		Header: []string{"Bench"},
+	}
+	for _, d := range dims {
+		t.Header = append(t.Header, fmt.Sprintf("%dx%d", d[0], d[1]))
+	}
+	bases := map[string]Result{}
+	for _, b := range PaperBenchOrder {
+		r, err := Run(b, SNUCA, cfg)
+		if err != nil {
+			return t, err
+		}
+		bases[b] = r
+	}
+	cells := map[string][]string{}
+	sums := make([]float64, len(dims))
+	for di, d := range dims {
+		c := cfg
+		c.Arch.ClusterWidth, c.Arch.ClusterHeight = d[0], d[1]
+		if err := c.Arch.Validate(); err != nil {
+			return t, fmt.Errorf("cluster %dx%d: %w", d[0], d[1], err)
+		}
+		for _, b := range PaperBenchOrder {
+			r, err := Run(b, TDNUCA, c)
+			if err != nil {
+				return t, err
+			}
+			sp := r.Speedup(bases[b])
+			cells[b] = append(cells[b], stats.Ratio(sp))
+			sums[di] += sp
+		}
+	}
+	for _, b := range PaperBenchOrder {
+		t.AddRow(append([]string{b}, cells[b]...)...)
+	}
+	avg := []string{"average"}
+	for _, s := range sums {
+		avg = append(avg, stats.Ratio(s/float64(len(PaperBenchOrder))))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}

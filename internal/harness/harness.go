@@ -1,0 +1,215 @@
+// Package harness runs the paper's experiments: it wires a benchmark, a
+// NUCA policy, the machine and the runtime together, collects every
+// metric the evaluation section reports, and formats each table and
+// figure (Table II, Fig. 3, Figs. 8-15, and the Sec. V-E design
+// trade-off studies) next to the paper's reference numbers.
+package harness
+
+import (
+	"fmt"
+
+	"tdnuca/internal/arch"
+	"tdnuca/internal/core"
+	"tdnuca/internal/energy"
+	"tdnuca/internal/machine"
+	"tdnuca/internal/policy"
+	"tdnuca/internal/rnuca"
+	"tdnuca/internal/sim"
+	"tdnuca/internal/taskrt"
+	"tdnuca/internal/workloads"
+)
+
+// PolicyKind selects the NUCA management scheme for a run.
+type PolicyKind string
+
+// The five configurations the evaluation uses.
+const (
+	SNUCA        PolicyKind = "S-NUCA"
+	RNUCA        PolicyKind = "R-NUCA"
+	TDNUCA       PolicyKind = "TD-NUCA"
+	TDBypassOnly PolicyKind = "TD-NUCA (Bypass Only)"
+	TDNoISA      PolicyKind = "TD-NUCA (runtime only)"
+)
+
+// Config parametrizes a run.
+type Config struct {
+	Arch      arch.Config
+	Factor    workloads.Factor
+	Seed      uint64
+	FragEvery int // physical page fragmentation period (0 = contiguous)
+	Energy    energy.Params
+	RT        taskrt.Options
+
+	// EagerFlush switches TD-NUCA to the paper-literal eager task-end
+	// flush (the deferred-flush ablation).
+	EagerFlush bool
+}
+
+// DefaultConfig returns the configuration every experiment uses unless a
+// sweep overrides something: the scaled machine, the 1/32 workload scale,
+// mild physical fragmentation and the default cost models.
+func DefaultConfig() Config {
+	cfg := Config{
+		Arch:      arch.ScaledConfig(),
+		Factor:    workloads.DefaultFactor,
+		Seed:      1,
+		FragEvery: 16,
+		Energy:    energy.DefaultParams(),
+		RT:        taskrt.DefaultOptions(),
+	}
+	// The paper's gem5/Ruby simulation models a contended NoC; the
+	// queueing model is therefore on for experiments (and off for unit
+	// tests that assert exact topological latencies).
+	cfg.Arch.NoCContention = true
+	return cfg
+}
+
+// Result carries everything one run measured.
+type Result struct {
+	Benchmark string
+	Policy    PolicyKind
+
+	Cycles  sim.Cycles // makespan of the parallel phase
+	Metrics machine.Metrics
+	Energy  energy.Tally
+
+	// DataMovement is the aggregate bytes-times-hops through the NoC,
+	// including DRAM-to-L1 traffic of bypassed blocks (Fig. 12's metric).
+	DataMovement uint64
+	NoCMessages  uint64
+
+	TLBHits, TLBMisses uint64
+
+	Tasks        int
+	AvgTaskKB    float64
+	HookCost     sim.Cycles
+	CreationCost sim.Cycles
+
+	FootprintBlocks uint64
+
+	// R-NUCA classification (only for RNUCA runs): unique touched blocks.
+	RNUCAPrivate, RNUCASharedRO, RNUCAShared uint64
+
+	// TD-NUCA extras (only for TD runs).
+	TDClassification core.BlockClassification
+	RRTAvgOcc        float64
+	RRTMaxOcc        int
+	RegisterFailures uint64
+	ManagerStats     core.ManagerStats
+
+	Violations []string
+}
+
+// Speedup returns base.Cycles / r.Cycles, the paper's Fig. 8 metric.
+func (r Result) Speedup(base Result) float64 {
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Run executes one benchmark under one policy and returns its Result.
+func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
+	spec, ok := workloads.Get(bench, cfg.Factor)
+	if !ok {
+		return Result{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+	}
+	m, err := machine.New(&cfg.Arch, cfg.FragEvery, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var hooks taskrt.Hooks
+	var mgr *core.Manager
+	var rn *rnuca.RNUCA
+	switch kind {
+	case SNUCA:
+		m.SetPolicy(policy.NewSNUCA())
+	case RNUCA:
+		rn = rnuca.New(m)
+		m.SetPolicy(rn)
+	case TDNUCA:
+		mgr = core.NewManager(m, core.Full)
+		mgr.EagerFlush = cfg.EagerFlush
+		m.SetPolicy(mgr)
+		hooks = mgr
+	case TDBypassOnly:
+		mgr = core.NewManager(m, core.BypassOnly)
+		mgr.EagerFlush = cfg.EagerFlush
+		m.SetPolicy(mgr)
+		hooks = mgr
+	case TDNoISA:
+		mgr = core.NewManager(m, core.NoISA)
+		m.SetPolicy(policy.NewSNUCA())
+		hooks = mgr
+	default:
+		return Result{}, fmt.Errorf("harness: unknown policy %q", kind)
+	}
+
+	rt := taskrt.New(m, hooks, cfg.RT)
+	spec.Build(rt)
+
+	res := Result{
+		Benchmark:       bench,
+		Policy:          kind,
+		Cycles:          rt.Makespan(),
+		Metrics:         m.Metrics(),
+		Energy:          energy.Compute(cfg.Energy, m.EnergyCounters()),
+		Tasks:           rt.ExecutedTasks(),
+		HookCost:        rt.HookCost(),
+		CreationCost:    rt.CreationCost(),
+		FootprintBlocks: spec.FootprintBytes / uint64(cfg.Arch.BlockBytes),
+		DataMovement:    m.Net.ByteHops(),
+		NoCMessages:     m.Net.Messages(),
+		Violations:      m.Violations(),
+	}
+	res.TLBHits, res.TLBMisses = m.TLBStats()
+	var depKB float64
+	for _, t := range rt.Tasks() {
+		var bytes uint64
+		for _, d := range t.Deps {
+			bytes += d.Range.Size
+		}
+		depKB += float64(bytes) / 1024
+	}
+	if res.Tasks > 0 {
+		res.AvgTaskKB = depKB / float64(res.Tasks)
+	}
+	if rn != nil {
+		res.RNUCAPrivate, res.RNUCASharedRO, res.RNUCAShared = rn.BlockClasses()
+	}
+	if mgr != nil {
+		res.TDClassification = mgr.Directory().Classify(cfg.Arch.BlockBytes)
+		res.RRTAvgOcc = mgr.AvgRRTOccupancy()
+		res.RRTMaxOcc = mgr.MaxRRTOccupancy()
+		res.RegisterFailures = mgr.Stats().RegisterFailures
+		res.ManagerStats = mgr.Stats()
+	}
+	return res, nil
+}
+
+// MustRun is Run but panics on error, for the CLIs and benchmarks.
+func MustRun(bench string, kind PolicyKind, cfg Config) Result {
+	r, err := Run(bench, kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Suite holds the results of every benchmark under a set of policies,
+// keyed [benchmark][policy]. The main figures all derive from one Suite.
+type Suite map[string]map[PolicyKind]Result
+
+// RunSuite executes every Table II benchmark under each given policy.
+func RunSuite(cfg Config, kinds ...PolicyKind) (Suite, error) {
+	s := make(Suite)
+	for _, bench := range workloads.Names() {
+		s[bench] = make(map[PolicyKind]Result, len(kinds))
+		for _, k := range kinds {
+			r, err := Run(bench, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s[bench][k] = r
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tdnuca/internal/workloads"
+)
+
+// fastCfg returns a configuration small enough for unit tests, with
+// coherence verification enabled.
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Factor = 1.0 / 128.0
+	cfg.Arch.CheckInvariants = true
+	return cfg
+}
+
+func TestRunUnknownBenchmarkOrPolicy(t *testing.T) {
+	if _, err := Run("nope", SNUCA, fastCfg()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Run("MD5", PolicyKind("bogus"), fastCfg()); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	r, err := Run("MD5", SNUCA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Tasks != 128 || r.Metrics.Accesses == 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if len(r.Violations) > 0 {
+		t.Errorf("violations: %v", r.Violations)
+	}
+	if r.AvgTaskKB <= 0 {
+		t.Error("average task size not computed")
+	}
+}
+
+func TestTDNUCAResultCarriesExtras(t *testing.T) {
+	r, err := Run("LU", TDNUCA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TDClassification.DepBlocks() == 0 {
+		t.Error("no TD classification")
+	}
+	if r.RRTMaxOcc == 0 {
+		t.Error("no RRT occupancy")
+	}
+	if len(r.Violations) > 0 {
+		t.Errorf("violations: %v", r.Violations)
+	}
+}
+
+func TestRNUCAResultCarriesClasses(t *testing.T) {
+	r, err := Run("Kmeans", RNUCA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RNUCAPrivate+r.RNUCASharedRO+r.RNUCAShared == 0 {
+		t.Error("no R-NUCA classification")
+	}
+	if len(r.Violations) > 0 {
+		t.Errorf("violations: %v", r.Violations)
+	}
+}
+
+func TestSuiteAndMainFigures(t *testing.T) {
+	cfg := fastCfg()
+	s, err := RunSuite(cfg, SNUCA, RNUCA, TDNUCA, TDBypassOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, perPolicy := range s {
+		for k, r := range perPolicy {
+			if len(r.Violations) > 0 {
+				t.Errorf("%s/%s violations: %v", b, k, r.Violations)
+			}
+			if r.Cycles == 0 {
+				t.Errorf("%s/%s zero cycles", b, k)
+			}
+		}
+	}
+
+	// TD-NUCA must beat S-NUCA on average (the paper's headline result).
+	var speedups []float64
+	for _, b := range workloads.Names() {
+		speedups = append(speedups, s[b][TDNUCA].Speedup(s[b][SNUCA]))
+	}
+	avg := 1.0
+	for _, v := range speedups {
+		avg *= v
+	}
+	if avg < 1.0 {
+		t.Errorf("TD-NUCA slower than S-NUCA on aggregate: %v", speedups)
+	}
+
+	// Every figure renders with all 8 benchmark rows plus summary rows.
+	for name, tbl := range map[string]string{
+		"Fig3":  Fig3(s).String(),
+		"Fig8":  Fig8(s).String(),
+		"Fig9":  Fig9(s).String(),
+		"Fig10": Fig10(s).String(),
+		"Fig11": Fig11(s).String(),
+		"Fig12": Fig12(s).String(),
+		"Fig13": Fig13(s).String(),
+		"Fig14": Fig14(s).String(),
+		"Fig15": Fig15(s).String(),
+	} {
+		for _, b := range workloads.Names() {
+			if !strings.Contains(tbl, b) {
+				t.Errorf("%s missing row for %s:\n%s", name, b, tbl)
+			}
+		}
+	}
+
+	// Directional checks against the paper's shape.
+	occ := OccupancyTable(s)
+	if len(occ.Rows) < 9 {
+		t.Errorf("occupancy table too short:\n%s", occ.String())
+	}
+	flush := FlushOverheadTable(s)
+	if len(flush.Rows) < 9 {
+		t.Errorf("flush table too short:\n%s", flush.String())
+	}
+
+	// Bypass reduces LLC accesses dramatically for MD5.
+	md5Ratio := float64(s["MD5"][TDNUCA].Metrics.LLCAccesses) /
+		float64(s["MD5"][SNUCA].Metrics.LLCAccesses)
+	if md5Ratio > 0.5 {
+		t.Errorf("MD5 LLC access ratio = %.2f; expected a large bypass reduction", md5Ratio)
+	}
+
+	// S-NUCA's NUCA distance is near the theoretical 2.5.
+	sDist := s["MD5"][SNUCA].Metrics.NUCADistance()
+	if sDist < 2.0 || sDist > 3.0 {
+		t.Errorf("S-NUCA NUCA distance = %.2f; expected ~2.5", sDist)
+	}
+}
+
+func TestTableIRendersConfig(t *testing.T) {
+	tbl := TableI(DefaultConfig())
+	s := tbl.String()
+	for _, want := range []string{"16 cores", "4x4 mesh", "RRT", "pseudoLRU"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tbl, err := TableII(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, b := range workloads.Names() {
+		if !strings.Contains(s, b) {
+			t.Errorf("Table II missing %s:\n%s", b, s)
+		}
+	}
+}
+
+func TestRuntimeOverheadSmall(t *testing.T) {
+	cfg := fastCfg()
+	base, err := Run("Kmeans", SNUCA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, err := Run("Kmeans", TDNoISA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := float64(no.Cycles)/float64(base.Cycles) - 1
+	if ov < 0 {
+		t.Errorf("runtime-only overhead negative: %v", ov)
+	}
+	if ov > 0.05 {
+		t.Errorf("runtime-only overhead = %.2f%%; paper reports <=0.03%%", 100*ov)
+	}
+}
+
+func TestRRTLatencySweepMonotone(t *testing.T) {
+	cfg := fastCfg()
+	tbl, err := RRTLatencySweep(cfg, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("sweep rows = %d:\n%s", len(tbl.Rows), tbl.String())
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := fastCfg()
+	a, err := Run("Jacobi", TDNUCA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("Jacobi", TDNUCA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Metrics != b.Metrics || a.DataMovement != b.DataMovement {
+		t.Error("identical configurations produced different results")
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	tbl, err := AblationTable(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("ablation rows = %d:\n%s", len(tbl.Rows), tbl.String())
+	}
+	// The full design must not lose to the fully-ablated variant on the
+	// headline average (that is the point of the design choices).
+	full, ablated := tbl.Rows[0][1], tbl.Rows[3][1]
+	if full < ablated {
+		t.Errorf("full design %s slower than fully ablated %s", full, ablated)
+	}
+}
+
+func TestClusterSweep(t *testing.T) {
+	tbl, err := ClusterSweep(fastCfg(), [][2]int{{1, 1}, {2, 2}, {4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 4 || len(tbl.Rows) != 9 {
+		t.Fatalf("cluster sweep shape %dx%d:\n%s", len(tbl.Header), len(tbl.Rows), tbl.String())
+	}
+}
+
+func TestClusterSweepRejectsBadDims(t *testing.T) {
+	if _, err := ClusterSweep(fastCfg(), [][2]int{{3, 3}}); err == nil {
+		t.Error("3x3 clusters on a 4x4 mesh accepted")
+	}
+}

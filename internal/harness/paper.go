@@ -1,0 +1,139 @@
+package harness
+
+// Paper reference values, used to print "paper" columns next to measured
+// results and to fill EXPERIMENTS.md. Values the text states explicitly
+// are exact; values only visible in the figures are approximate read-offs
+// and are marked as such by PaperApprox.
+//
+// Benchmark order everywhere: Gauss, Histo, Jacobi, Kmeans, KNN, LU,
+// MD5, Redblack.
+
+// PaperBenchOrder is Table II's benchmark order.
+var PaperBenchOrder = []string{"Gauss", "Histo", "Jacobi", "Kmeans", "KNN", "LU", "MD5", "Redblack"}
+
+// PaperExact flags which per-benchmark reference values the paper's text
+// states numerically (the rest are read off the figures).
+var PaperExact = map[string]map[string]bool{
+	"fig8-td":  {"Gauss": true, "LU": true, "Redblack": true, "KNN": true, "MD5": true},
+	"fig8-r":   {"Gauss": true},
+	"fig9-td":  {"MD5": true, "KNN": true},
+	"fig12-td": {"Gauss": true, "Histo": true, "MD5": true},
+	"fig13-td": {"Jacobi": true},
+	"fig14-td": {"Redblack": true, "LU": true},
+	"fig14-r":  {"MD5": true, "LU": true},
+}
+
+// Fig8PaperTD is the TD-NUCA speedup over S-NUCA (Fig. 8).
+var Fig8PaperTD = map[string]float64{
+	"Gauss": 1.26, "Histo": 1.09, "Jacobi": 1.10, "Kmeans": 1.09,
+	"KNN": 1.04, "LU": 1.59, "MD5": 1.04, "Redblack": 1.20,
+}
+
+// Fig8PaperTDAvg is the paper's average TD-NUCA speedup.
+const Fig8PaperTDAvg = 1.18
+
+// Fig8PaperR is the R-NUCA speedup over S-NUCA (Fig. 8; only Gauss is
+// stated, the rest are below 1.05).
+var Fig8PaperR = map[string]float64{
+	"Gauss": 1.11, "Histo": 1.02, "Jacobi": 1.02, "Kmeans": 1.02,
+	"KNN": 1.01, "LU": 1.04, "MD5": 1.01, "Redblack": 1.02,
+}
+
+// Fig8PaperRAvg is the paper's average R-NUCA speedup.
+const Fig8PaperRAvg = 1.02
+
+// Fig9PaperTD is TD-NUCA's LLC accesses normalized to S-NUCA (Fig. 9).
+var Fig9PaperTD = map[string]float64{
+	"Gauss": 0.60, "Histo": 0.85, "Jacobi": 0.25, "Kmeans": 0.30,
+	"KNN": 0.99, "LU": 0.95, "MD5": 0.14, "Redblack": 0.30,
+}
+
+// Fig9PaperTDAvg / Fig9PaperRAvg are the stated averages.
+const (
+	Fig9PaperTDAvg = 0.48
+	Fig9PaperRAvg  = 0.99
+)
+
+// Fig10Paper are the stated average LLC hit ratios (Fig. 10).
+const (
+	Fig10PaperS  = 0.41
+	Fig10PaperR  = 0.40
+	Fig10PaperTD = 0.74
+)
+
+// Fig11Paper are the stated average NUCA distances (Fig. 11).
+const (
+	Fig11PaperS  = 2.49
+	Fig11PaperR  = 1.46
+	Fig11PaperTD = 1.91
+)
+
+// Fig12PaperTD is NoC data movement normalized to S-NUCA (Fig. 12).
+var Fig12PaperTD = map[string]float64{
+	"Gauss": 0.70, "Histo": 0.70, "Jacobi": 0.62, "Kmeans": 0.62,
+	"KNN": 0.62, "LU": 0.65, "MD5": 0.58, "Redblack": 0.60,
+}
+
+// Fig12 stated averages.
+const (
+	Fig12PaperTDAvg = 0.62
+	Fig12PaperRAvg  = 0.84
+)
+
+// Fig13PaperTD is LLC dynamic energy normalized to S-NUCA (Fig. 13).
+var Fig13PaperTD = map[string]float64{
+	"Gauss": 0.45, "Histo": 0.55, "Jacobi": 0.10, "Kmeans": 0.30,
+	"KNN": 0.90, "LU": 1.15, "MD5": 0.15, "Redblack": 0.30,
+}
+
+// Fig13 stated averages.
+const (
+	Fig13PaperTDAvg = 0.52
+	Fig13PaperRAvg  = 1.00
+)
+
+// Fig14PaperTD is NoC dynamic energy normalized to S-NUCA (Fig. 14).
+var Fig14PaperTD = map[string]float64{
+	"Gauss": 0.65, "Histo": 0.65, "Jacobi": 0.62, "Kmeans": 0.62,
+	"KNN": 0.70, "LU": 0.80, "MD5": 0.60, "Redblack": 0.55,
+}
+
+// Fig14 stated averages and extremes.
+const (
+	Fig14PaperTDAvg = 0.64
+	Fig14PaperRAvg  = 0.88
+)
+
+// Fig15Paper is the Bypass-Only variant's speedup over S-NUCA (Fig. 15):
+// no benefit for Histo/KNN/LU; matches full TD-NUCA for Jacobi, Kmeans,
+// MD5, Redblack; partial benefit for Gauss.
+var Fig15Paper = map[string]float64{
+	"Gauss": 1.08, "Histo": 1.00, "Jacobi": 1.10, "Kmeans": 1.09,
+	"KNN": 1.00, "LU": 1.00, "MD5": 1.04, "Redblack": 1.20,
+}
+
+// Fig15PaperAvg is the stated Bypass-Only average speedup.
+const Fig15PaperAvg = 1.06
+
+// Fig3 stated averages: TD-NUCA covers 96% of unique blocks as
+// dependencies, 72% predicted non-reused; R-NUCA leaves 64% shared with
+// under 1% shared read-only.
+const (
+	Fig3PaperTDDepCoverage = 0.96
+	Fig3PaperTDNotReused   = 0.72
+	Fig3PaperRShared       = 0.64
+)
+
+// Sec. V-E reference values.
+const (
+	PaperRRTAvgOccupancy    = 14.71
+	PaperRRTMaxOccupancy    = 59   // a Redblack core
+	PaperFlushMaxPct        = 0.49 // Histo; all others below 0.1%
+	PaperRuntimeOverheadPct = 0.03 // upper bound across benchmarks
+)
+
+// PaperRRTLatencyOverhead maps RRT latency (cycles) to the stated average
+// performance overhead versus an ideal zero-latency RRT.
+var PaperRRTLatencyOverhead = map[int]float64{
+	0: 0.0, 1: 0.001, 2: 0.005, 3: 0.011, 4: 0.019,
+}

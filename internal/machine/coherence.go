@@ -1,0 +1,155 @@
+package machine
+
+import (
+	"tdnuca/internal/amath"
+	"tdnuca/internal/cache"
+	"tdnuca/internal/sim"
+)
+
+// invalidateCopies removes every L1 copy of the block except the one held
+// by the requesting core, returning the latency of the slowest
+// invalidation round trip (invalidations proceed in parallel). If the
+// exclusive owner holds a Modified copy it is written back to the bank
+// first so the LLC has current data.
+func (m *Machine) invalidateCopies(bank int, pa amath.Addr, e *dirEntry, except int, now sim.Cycles) sim.Cycles {
+	var worst sim.Cycles
+	invalidateOne := func(core int) {
+		if core == except {
+			return
+		}
+		_, invLat := m.Net.SendCtrlAt(bank, core, now)
+		rt := invLat
+		st := m.L1s[core].Probe(pa)
+		if st.IsValid() {
+			if st == cache.Modified {
+				// Dirty copy travels back with the acknowledgment.
+				m.verifyOwnerWriteback(core, bank, pa)
+				_, wbLat := m.Net.SendDataAt(core, bank, now+rt)
+				rt += wbLat
+				m.Banks[bank].Cache.SetState(pa, cache.Modified)
+				m.met.LLCWritebacksIn++
+			} else {
+				_, ackLat := m.Net.SendCtrlAt(core, bank, now+rt)
+				rt += ackLat
+			}
+			m.L1s[core].Invalidate(pa)
+			m.met.Invalidations++
+			m.verifyL1Drop(core, pa)
+		} else {
+			// Silently evicted earlier; the ack still travels.
+			_, ackLat := m.Net.SendCtrlAt(core, bank, now+rt)
+			rt += ackLat
+		}
+		if rt > worst {
+			worst = rt
+		}
+	}
+	if e.owner >= 0 {
+		invalidateOne(e.owner)
+	}
+	for _, s := range e.sharers.Bits() {
+		invalidateOne(s)
+	}
+	return worst
+}
+
+// fetchFromOwner resolves a read request that hit a bank whose directory
+// records an exclusive owner: the bank queries the owner; a Modified copy
+// is written back (the bank's data becomes current) and the owner
+// downgrades to Shared. A clean or silently-evicted copy just
+// acknowledges. The directory entry is downgraded to the sharer form.
+func (m *Machine) fetchFromOwner(bank int, pa amath.Addr, e *dirEntry, now sim.Cycles) sim.Cycles {
+	owner := e.owner
+	_, fwdLat := m.Net.SendCtrlAt(bank, owner, now)
+	lat := fwdLat
+	m.met.OwnerForwards++
+	switch m.L1s[owner].Probe(pa) {
+	case cache.Modified:
+		m.verifyOwnerWriteback(owner, bank, pa)
+		_, wbLat := m.Net.SendDataAt(owner, bank, now+lat)
+		lat += wbLat
+		m.Banks[bank].Cache.SetState(pa, cache.Modified)
+		m.met.LLCWritebacksIn++
+		m.L1s[owner].SetState(pa, cache.Shared)
+		e.sharers = e.sharers.Set(owner)
+	case cache.Exclusive, cache.Shared:
+		_, ackLat := m.Net.SendCtrlAt(owner, bank, now+lat)
+		lat += ackLat
+		m.L1s[owner].SetState(pa, cache.Shared)
+		e.sharers = e.sharers.Set(owner)
+	default:
+		// Silent eviction: owner no longer has the block.
+		_, ackLat := m.Net.SendCtrlAt(owner, bank, now+lat)
+		lat += ackLat
+	}
+	e.owner = -1
+	return lat
+}
+
+// memFetchToBank fetches a block from DRAM into an LLC bank (an LLC
+// miss): control to the nearest memory controller, the DRAM access, and
+// the data response, then the fill with inclusive victim handling.
+func (m *Machine) memFetchToBank(bank int, pa amath.Addr, now sim.Cycles) sim.Cycles {
+	mc := m.Cfg.NearestMemCtrl(bank)
+	_, reqLat := m.Net.SendCtrlAt(bank, mc, now)
+	lat := reqLat + sim.Cycles(m.Cfg.DRAMLatency)
+	m.met.DRAMReads++
+	_, respLat := m.Net.SendDataAt(mc, bank, now+lat)
+	lat += respLat
+	m.fillBank(bank, pa, cache.Exclusive)
+	m.verifyBankFillFromMemory(bank, pa)
+	return lat
+}
+
+// fillBank inserts a block into a bank, evicting and back-invalidating a
+// victim if needed (the LLC is inclusive: evicting a block removes every
+// L1 copy). Eviction handling is off the demand critical path, so it
+// produces traffic and energy but no added latency.
+func (m *Machine) fillBank(bank int, pa amath.Addr, st cache.State) {
+	b := m.Banks[bank]
+	m.met.LLCFills++
+	v := b.Cache.Insert(pa, st)
+	if !v.Occurred {
+		return
+	}
+	m.met.LLCEvictions++
+	block := v.Addr.Block(m.Cfg.BlockBytes)
+	dirty := v.State == cache.Modified
+	if e := b.dir[block]; e != nil {
+		// Back-invalidate all L1 copies of the victim.
+		backInv := func(core int) {
+			m.Net.SendCtrl(bank, core)
+			cst := m.L1s[core].Probe(v.Addr)
+			if cst.IsValid() {
+				if cst == cache.Modified {
+					m.verifyOwnerWriteback(core, bank, v.Addr)
+					m.Net.SendData(core, bank)
+					m.met.LLCWritebacksIn++
+					dirty = true
+				} else {
+					m.Net.SendCtrl(core, bank)
+				}
+				m.L1s[core].Invalidate(v.Addr)
+				m.met.Invalidations++
+				m.verifyL1Drop(core, v.Addr)
+			} else {
+				m.Net.SendCtrl(core, bank)
+			}
+		}
+		if e.owner >= 0 {
+			backInv(e.owner)
+		}
+		for _, s := range e.sharers.Bits() {
+			backInv(s)
+		}
+		delete(b.dir, block)
+	}
+	if dirty {
+		mc := m.Cfg.NearestMemCtrl(bank)
+		m.Net.SendData(bank, mc)
+		m.met.DRAMWrites++
+		m.met.LLCWritebacksOut++
+		m.verifyBankWritebackToMemory(bank, v.Addr)
+	}
+	m.verifyBankDrop(bank, v.Addr)
+}

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/sim"
+)
+
+// These are fault-injection tests for the functional coherence checker
+// itself: deliberately broken policies must be *detected*. A verifier
+// that stays silent on a stale read would make every other "no
+// violations" assertion in the suite worthless.
+
+// flipFlopPolicy maps a block to a different bank on every placement
+// decision without ever flushing — the canonical broken-D-NUCA bug:
+// dirty data is stranded in the old bank while reads go to the new one.
+type flipFlopPolicy struct{ n int }
+
+func (p *flipFlopPolicy) Name() string       { return "flip-flop-test" }
+func (p *flipFlopPolicy) LookupPenalty() int { return 0 }
+func (p *flipFlopPolicy) UsesRRT() bool      { return false }
+func (p *flipFlopPolicy) Place(ac AccessContext) (Placement, sim.Cycles) {
+	p.n++
+	return Placement{Kind: SingleBank, Bank: p.n % 16}, 0
+}
+
+func TestVerifierDetectsStrandedDirtyData(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(&flipFlopPolicy{})
+	// Write from one core, evict it (via L1 pressure), read from another:
+	// the migrating home bank strands the dirty copy.
+	m.Access(0, 0x1000, true)
+	stride := amath.Addr(m.L1s[0].Sets() * m.Cfg.BlockBytes)
+	for i := 1; i <= 16; i++ {
+		m.Access(0, 0x1000+amath.Addr(i)*stride, true) // force the dirty victim out
+	}
+	m.Access(1, 0x1000, false)
+	violations := m.Violations()
+	if len(violations) == 0 {
+		t.Fatal("verifier missed the stranded-dirty-data bug")
+	}
+	if !strings.Contains(strings.Join(violations, "\n"), "stale") {
+		t.Errorf("unexpected violation text: %v", violations)
+	}
+}
+
+// stealthyBypassPolicy bypasses reads of a shared range while writes go
+// to a bank — readers fetch stale DRAM data.
+type stealthyBypassPolicy struct{}
+
+func (stealthyBypassPolicy) Name() string       { return "stealthy-bypass-test" }
+func (stealthyBypassPolicy) LookupPenalty() int { return 0 }
+func (stealthyBypassPolicy) UsesRRT() bool      { return false }
+func (stealthyBypassPolicy) Place(ac AccessContext) (Placement, sim.Cycles) {
+	if ac.Write {
+		return Placement{Kind: SingleBank, Bank: 0}, 0
+	}
+	return Placement{Kind: Bypass}, 0
+}
+
+func TestVerifierDetectsStaleBypassReads(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(stealthyBypassPolicy{})
+	m.Access(0, 0x2000, true)  // dirty in core 0 / bank 0
+	m.Access(1, 0x2000, false) // bypass read -> stale DRAM
+	if len(m.Violations()) == 0 {
+		t.Fatal("verifier missed the stale bypass read")
+	}
+}
+
+func TestVerifierCapsViolationList(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(&flipFlopPolicy{})
+	for i := 0; i < 2000; i++ {
+		core := i % 16
+		m.Access(core, amath.Addr(i%64)*64, i%2 == 0)
+	}
+	if n := len(m.Violations()); n > maxViolations {
+		t.Errorf("violation list grew to %d entries (cap %d)", n, maxViolations)
+	}
+}
+
+func TestVerifierDisabledReportsNothing(t *testing.T) {
+	cfg := arch.ScaledConfig() // CheckInvariants off
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(&flipFlopPolicy{})
+	m.Access(0, 0x1000, true)
+	m.Access(1, 0x1000, false)
+	if m.Violations() != nil {
+		t.Error("disabled verifier returned violations")
+	}
+}

@@ -1,0 +1,176 @@
+package machine
+
+import (
+	"tdnuca/internal/amath"
+	"tdnuca/internal/cache"
+	"tdnuca/internal/sim"
+)
+
+// Flush cost model: a hardware flush engine walks whichever is smaller —
+// the address range or the cache array — checking flushPipeline blocks
+// per cycle, and issues writebacks for dirty blocks at flushIssueCycles
+// apiece. Writeback data drains through the NoC and the memory
+// controllers in the background (the traffic and energy are fully
+// accounted, but their latency is off the flush's critical path): the
+// completion register signals once all writebacks are ordered, which
+// keeps flush overheads in the sub-percent range the paper reports
+// (Sec. V-E).
+const (
+	flushPipeline    = 8
+	flushIssueCycles = 1
+)
+
+func (m *Machine) flushScanCycles(r amath.Range, cacheLines int) sim.Cycles {
+	blocks := r.NumBlocks(m.Cfg.BlockBytes)
+	if cacheLines < blocks {
+		blocks = cacheLines
+	}
+	return sim.Cycles((blocks + flushPipeline - 1) / flushPipeline)
+}
+
+// FlushL1Range flushes every block of the physical range from one core's
+// private cache: dirty blocks are written back to their home (per the
+// policy's placement, as tdnuca_flush does), clean blocks are dropped.
+// It returns the cycles the flush occupied and the number of blocks
+// flushed. This implements tdnuca_flush with cache_level = private.
+func (m *Machine) FlushL1Range(core int, r amath.Range) (sim.Cycles, int) {
+	m.met.FlushOps++
+	l1 := m.L1s[core]
+	lat := m.flushScanCycles(r, l1.Sets()*l1.Ways())
+	var dirty []amath.Addr
+	n := l1.FlushRange(r, func(block amath.Addr, st cache.State) {
+		if st == cache.Modified {
+			dirty = append(dirty, block)
+		} else {
+			m.verifyL1Drop(core, block)
+		}
+	})
+	for _, block := range dirty {
+		lat += m.flushWriteback(core, block)
+	}
+	m.met.FlushedBlocks += uint64(n)
+	m.met.FlushCycles += lat
+	return lat, n
+}
+
+// flushWriteback routes one dirty block flushed from an L1 to its home,
+// like writebackFromL1 but returning the latency (flushes are synchronous:
+// the runtime waits on the completion register).
+func (m *Machine) flushWriteback(core int, pa amath.Addr) sim.Cycles {
+	m.met.L1Writebacks++
+	m.policyLookup()
+	pl, _ := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], PA: pa, Write: true, Writeback: true})
+	if pl.Kind == Bypass {
+		mc := m.Cfg.NearestMemCtrl(core)
+		m.Net.SendData(core, mc)
+		m.met.DRAMWrites++
+		m.verifyWritebackToMemory(core, pa)
+		m.verifyL1Drop(core, pa)
+		return flushIssueCycles
+	}
+	bank := m.ResolveBank(pl, pa)
+	m.Net.SendData(core, bank)
+	b := m.Banks[bank]
+	m.met.LLCWritebacksIn++
+	if b.Cache.Probe(pa).IsValid() {
+		b.Cache.SetState(pa, cache.Modified)
+	} else {
+		m.fillBank(bank, pa, cache.Modified)
+	}
+	block := m.blockNum(pa)
+	if e := b.dir[block]; e != nil {
+		if e.owner == core {
+			e.owner = -1
+		}
+		e.sharers = e.sharers.Clear(core)
+	} else {
+		b.dir[block] = &dirEntry{owner: -1}
+	}
+	m.verifyWritebackToBank(core, bank, pa)
+	m.verifyL1Drop(core, pa)
+	return flushIssueCycles
+}
+
+// FlushBankRange flushes every block of the physical range from one LLC
+// bank: all L1 copies are back-invalidated first (dirty owners write back
+// through the bank), then dirty bank lines are written to DRAM and the
+// lines and directory entries are dropped. This implements tdnuca_flush
+// with cache_level = LLC and the relocation flushes of R-NUCA.
+func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
+	m.met.FlushOps++
+	b := m.Banks[bank]
+	lat := m.flushScanCycles(r, b.Cache.Sets()*b.Cache.Ways())
+	type victim struct {
+		addr  amath.Addr
+		dirty bool
+	}
+	var victims []victim
+	n := b.Cache.FlushRange(r, func(block amath.Addr, st cache.State) {
+		victims = append(victims, victim{addr: block, dirty: st == cache.Modified})
+	})
+	for _, v := range victims {
+		block := m.blockNum(v.addr)
+		dirty := v.dirty
+		if e := b.dir[block]; e != nil {
+			inv := func(core int) {
+				m.Net.SendCtrl(bank, core)
+				lat += flushIssueCycles
+				st := m.L1s[core].Probe(v.addr)
+				if st.IsValid() {
+					if st == cache.Modified {
+						m.verifyOwnerWriteback(core, bank, v.addr)
+						m.Net.SendData(core, bank)
+						m.met.LLCWritebacksIn++
+						dirty = true
+					} else {
+						m.Net.SendCtrl(core, bank)
+					}
+					m.L1s[core].Invalidate(v.addr)
+					m.met.Invalidations++
+					m.verifyL1Drop(core, v.addr)
+				} else {
+					m.Net.SendCtrl(core, bank)
+				}
+			}
+			if e.owner >= 0 {
+				inv(e.owner)
+			}
+			for _, s := range e.sharers.Bits() {
+				inv(s)
+			}
+			delete(b.dir, block)
+		}
+		if dirty {
+			mc := m.Cfg.NearestMemCtrl(bank)
+			m.Net.SendData(bank, mc)
+			lat += flushIssueCycles
+			m.met.DRAMWrites++
+			m.met.LLCWritebacksOut++
+			m.verifyBankWritebackToMemory(bank, v.addr)
+		}
+		m.verifyBankDrop(bank, v.addr)
+	}
+	m.met.FlushedBlocks += uint64(n)
+	m.met.FlushCycles += lat
+	return lat, n
+}
+
+// FlushRangeEverywhere flushes a physical range from every L1 and every
+// LLC bank on the chip, used by R-NUCA when a replicated read-only page
+// transitions to read-write and by TD-NUCA when an In dependency is about
+// to be written (Sec. III-C2, lazy invalidation of replicas).
+func (m *Machine) FlushRangeEverywhere(r amath.Range) (sim.Cycles, int) {
+	var lat sim.Cycles
+	total := 0
+	for core := range m.L1s {
+		l, n := m.FlushL1Range(core, r)
+		lat += l
+		total += n
+	}
+	for bank := range m.Banks {
+		l, n := m.FlushBankRange(bank, r)
+		lat += l
+		total += n
+	}
+	return lat, total
+}

@@ -1,0 +1,183 @@
+// Package noc models the 2D-mesh network-on-chip of the tiled CMP:
+// dimension-ordered (XY) routing, per-hop router+link latency (Table I:
+// 1 cycle each), per-link byte counters, and the aggregate data-movement
+// metric of Fig. 12 (bytes transferred through all routers, computed as
+// payload bytes times hops traversed).
+package noc
+
+import (
+	"fmt"
+
+	"tdnuca/internal/arch"
+	"tdnuca/internal/sim"
+)
+
+// Network is the mesh interconnect. It is purely an accounting and
+// latency model: messages are not buffered or arbitrated individually
+// (see DESIGN.md on contention), but every byte and hop is counted, which
+// is what the paper's NoC traffic and energy figures are built from.
+type Network struct {
+	cfg *arch.Config
+
+	// linkBytes counts payload bytes crossing each directed link.
+	// Links are indexed by (fromTile, direction).
+	linkBytes [][4]uint64
+
+	messages  uint64
+	byteHops  uint64 // sum over messages of bytes*hops: Fig. 12's metric
+	flitHops  uint64
+	ctrlMsgs  uint64
+	dataMsgs  uint64
+	dataBytes uint64
+
+	// Queueing contention model (see contention.go).
+	contention bool
+	bwBytes    int
+	links      [][4]linkState
+	queued     sim.Cycles
+}
+
+// Directions of mesh links, used to index per-link counters.
+const (
+	East = iota
+	West
+	North
+	South
+)
+
+// New constructs the mesh for the given architecture.
+func New(cfg *arch.Config) *Network {
+	return &Network{
+		cfg:       cfg,
+		linkBytes: make([][4]uint64, cfg.NumCores),
+	}
+}
+
+// Route returns the XY-routed path from one tile to another as the
+// sequence of tiles traversed, including both endpoints. XY routing moves
+// along the X dimension first, then Y, and is deadlock-free on a mesh.
+func (n *Network) Route(from, to int) []int {
+	path := []int{from}
+	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
+	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
+	for x != tx {
+		if x < tx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, n.cfg.TileAt(x, y))
+	}
+	for y != ty {
+		if y < ty {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, n.cfg.TileAt(x, y))
+	}
+	return path
+}
+
+// Send accounts for a message of the given payload size travelling from
+// one tile to another and returns the number of hops and the NoC latency
+// in cycles. A message to the local tile takes zero hops and zero cycles.
+// The XY walk is inlined (allocation-free) because Send sits on the
+// simulator's hottest path; Route exists for tests and tooling.
+func (n *Network) Send(from, to, bytes int) (hops, latency int) {
+	n.messages++
+	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
+	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
+	cur := from
+	for x != tx {
+		dir := East
+		nx := x + 1
+		if x > tx {
+			dir, nx = West, x-1
+		}
+		n.linkBytes[cur][dir] += uint64(bytes)
+		x = nx
+		cur = n.cfg.TileAt(x, y)
+		hops++
+	}
+	for y != ty {
+		dir := South
+		ny := y + 1
+		if y > ty {
+			dir, ny = North, y-1
+		}
+		n.linkBytes[cur][dir] += uint64(bytes)
+		y = ny
+		cur = n.cfg.TileAt(x, y)
+		hops++
+	}
+	n.byteHops += uint64(bytes) * uint64(hops)
+	n.flitHops += uint64(hops)
+	return hops, n.cfg.HopLatency(hops)
+}
+
+// SendCtrl accounts for a control message (request, invalidation, ack) of
+// the configured control-message size.
+func (n *Network) SendCtrl(from, to int) (hops, latency int) {
+	n.ctrlMsgs++
+	return n.Send(from, to, n.cfg.CtrlMsgBytes)
+}
+
+// SendData accounts for a data message carrying one cache block plus the
+// data header.
+func (n *Network) SendData(from, to int) (hops, latency int) {
+	n.dataMsgs++
+	n.dataBytes += uint64(n.cfg.BlockBytes)
+	return n.Send(from, to, n.cfg.BlockBytes+n.cfg.DataHdrBytes)
+}
+
+func (n *Network) direction(from, to int) int {
+	fx, fy := n.cfg.TileX(from), n.cfg.TileY(from)
+	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
+	switch {
+	case tx == fx+1 && ty == fy:
+		return East
+	case tx == fx-1 && ty == fy:
+		return West
+	case ty == fy-1 && tx == fx:
+		return North
+	case ty == fy+1 && tx == fx:
+		return South
+	}
+	panic(fmt.Sprintf("noc: tiles %d and %d are not adjacent", from, to))
+}
+
+// ByteHops returns the aggregate payload bytes times hops traversed: the
+// data-movement metric of Fig. 12.
+func (n *Network) ByteHops() uint64 { return n.byteHops }
+
+// FlitHops returns the total message-hops traversed (one per message per
+// hop), a proxy for router activations used by the energy model.
+func (n *Network) FlitHops() uint64 { return n.flitHops }
+
+// Messages returns the total number of messages sent.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// CtrlMessages returns how many control messages were sent.
+func (n *Network) CtrlMessages() uint64 { return n.ctrlMsgs }
+
+// DataMessages returns how many block-carrying messages were sent.
+func (n *Network) DataMessages() uint64 { return n.dataMsgs }
+
+// LinkBytes returns the payload bytes that crossed the directed link
+// leaving the tile in the given direction.
+func (n *Network) LinkBytes(tile, dir int) uint64 { return n.linkBytes[tile][dir] }
+
+// MaxLinkBytes returns the most loaded directed link's byte count, a
+// hotspot indicator used in tests and reports.
+func (n *Network) MaxLinkBytes() uint64 {
+	var max uint64
+	for _, dirs := range n.linkBytes {
+		for _, b := range dirs {
+			if b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}

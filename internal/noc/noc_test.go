@@ -1,0 +1,149 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdnuca/internal/arch"
+)
+
+func mesh(t *testing.T) (*Network, *arch.Config) {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(&cfg), &cfg
+}
+
+func TestRouteEndpointsAndLength(t *testing.T) {
+	n, cfg := mesh(t)
+	for from := 0; from < cfg.NumCores; from++ {
+		for to := 0; to < cfg.NumCores; to++ {
+			p := n.Route(from, to)
+			if p[0] != from || p[len(p)-1] != to {
+				t.Fatalf("Route(%d,%d) endpoints = %v", from, to, p)
+			}
+			if len(p)-1 != cfg.Hops(from, to) {
+				t.Errorf("Route(%d,%d) hops = %d, want Manhattan %d", from, to, len(p)-1, cfg.Hops(from, to))
+			}
+			// Consecutive tiles must be mesh-adjacent.
+			for i := 1; i < len(p); i++ {
+				if cfg.Hops(p[i-1], p[i]) != 1 {
+					t.Fatalf("Route(%d,%d) non-adjacent step %d->%d", from, to, p[i-1], p[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRouteIsXYOrdered(t *testing.T) {
+	n, cfg := mesh(t)
+	// From tile 0 (0,0) to tile 15 (3,3): X first then Y.
+	p := n.Route(0, 15)
+	want := []int{0, 1, 2, 3, 7, 11, 15}
+	if len(p) != len(want) {
+		t.Fatalf("Route(0,15) = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Route(0,15) = %v, want %v", p, want)
+		}
+	}
+	_ = cfg
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	n, _ := mesh(t)
+	hops, lat := n.Send(5, 5, 64)
+	if hops != 0 || lat != 0 {
+		t.Errorf("local send = %d hops %d cycles", hops, lat)
+	}
+	if n.ByteHops() != 0 {
+		t.Error("local send accumulated byte-hops")
+	}
+	if n.Messages() != 1 {
+		t.Error("local send not counted as a message")
+	}
+}
+
+func TestSendAccounting(t *testing.T) {
+	n, cfg := mesh(t)
+	hops, lat := n.Send(0, 3, 100) // 3 hops east
+	if hops != 3 {
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+	if lat != cfg.HopLatency(3) {
+		t.Errorf("latency = %d, want %d", lat, cfg.HopLatency(3))
+	}
+	if n.ByteHops() != 300 {
+		t.Errorf("byteHops = %d, want 300", n.ByteHops())
+	}
+	for tile := 0; tile < 3; tile++ {
+		if got := n.LinkBytes(tile, East); got != 100 {
+			t.Errorf("link %d-east bytes = %d, want 100", tile, got)
+		}
+	}
+	if n.LinkBytes(3, East) != 0 {
+		t.Error("bytes charged beyond destination")
+	}
+}
+
+func TestCtrlAndDataSizes(t *testing.T) {
+	n, cfg := mesh(t)
+	n.SendCtrl(0, 1)
+	if n.ByteHops() != uint64(cfg.CtrlMsgBytes) {
+		t.Errorf("ctrl byteHops = %d, want %d", n.ByteHops(), cfg.CtrlMsgBytes)
+	}
+	n2, _ := mesh(t)
+	n2.SendData(0, 1)
+	if n2.ByteHops() != uint64(cfg.BlockBytes+cfg.DataHdrBytes) {
+		t.Errorf("data byteHops = %d, want %d", n2.ByteHops(), cfg.BlockBytes+cfg.DataHdrBytes)
+	}
+	if n.CtrlMessages() != 1 || n2.DataMessages() != 1 {
+		t.Error("message type counters wrong")
+	}
+}
+
+func TestByteHopsConservation(t *testing.T) {
+	// Total bytes over all links equals byteHops.
+	f := func(pairs []uint8) bool {
+		cfg := arch.DefaultConfig()
+		n := New(&cfg)
+		for _, p := range pairs {
+			from := int(p) % cfg.NumCores
+			to := int(p/16) % cfg.NumCores
+			n.Send(from, to, 64)
+		}
+		var linkTotal uint64
+		for tile := 0; tile < cfg.NumCores; tile++ {
+			for dir := 0; dir < 4; dir++ {
+				linkTotal += n.LinkBytes(tile, dir)
+			}
+		}
+		return linkTotal == n.ByteHops()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLinkBytes(t *testing.T) {
+	n, _ := mesh(t)
+	n.Send(0, 3, 10)
+	n.Send(1, 3, 10) // link 1->2 and 2->3 now carry 20
+	if got := n.MaxLinkBytes(); got != 20 {
+		t.Errorf("MaxLinkBytes = %d, want 20", got)
+	}
+}
+
+func TestEdgeTilesHaveNoPhantomLinks(t *testing.T) {
+	// Routing from the east edge west and vice versa never indexes a
+	// nonexistent link (would panic in direction()).
+	n, cfg := mesh(t)
+	for from := 0; from < cfg.NumCores; from++ {
+		for to := 0; to < cfg.NumCores; to++ {
+			n.Send(from, to, 1)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+)
+
+func TestSNUCAInterface(t *testing.T) {
+	p := NewSNUCA()
+	if p.Name() != "S-NUCA" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.LookupPenalty() != 0 || p.UsesRRT() {
+		t.Error("S-NUCA must have no lookup structure")
+	}
+	pl, extra := p.Place(machine.AccessContext{Core: 3, PA: 0x12345})
+	if pl.Kind != machine.Interleaved || extra != 0 {
+		t.Errorf("Place = %+v, %d", pl, extra)
+	}
+}
+
+func TestSNUCAInterleavingIsUniform(t *testing.T) {
+	// Under S-NUCA, consecutive blocks must visit every bank exactly once
+	// per 16 blocks, and distribution over many blocks is perfectly even.
+	cfg := arch.ScaledConfig()
+	m := machine.MustNew(&cfg, 0, 1)
+	p := NewSNUCA()
+	m.SetPolicy(p)
+	counts := make(map[int]int)
+	for i := 0; i < 16*64; i++ {
+		pa := amath.Addr(i * cfg.BlockBytes)
+		pl, _ := p.Place(machine.AccessContext{Core: 0, PA: pa})
+		counts[m.ResolveBank(pl, pa)]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("interleaving used %d banks", len(counts))
+	}
+	for bank, n := range counts {
+		if n != 64 {
+			t.Errorf("bank %d received %d blocks, want 64", bank, n)
+		}
+	}
+}
+
+func TestSNUCAEndToEnd(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(NewSNUCA())
+	for core := 0; core < cfg.NumCores; core++ {
+		m.Access(core, amath.Addr(core)*4096, true)
+		m.Access((core+1)%cfg.NumCores, amath.Addr(core)*4096, false)
+	}
+	for _, v := range m.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	// Every (core, bank) pair visited once: the added distance must be
+	// exactly the theoretical 4x4-mesh average of 2.5 hops per access.
+	before := m.Metrics()
+	for core := 0; core < 16; core++ {
+		for blk := 0; blk < 16; blk++ {
+			m.Access(core, amath.Addr(0x100000+(core*256+blk)*64), false)
+		}
+	}
+	after := m.Metrics()
+	d := float64(after.NUCADistSum-before.NUCADistSum) / float64(after.NUCADistCnt-before.NUCADistCnt)
+	if d != 2.5 {
+		t.Errorf("S-NUCA distance = %v, want exactly 2.5", d)
+	}
+}

@@ -1,0 +1,218 @@
+package rnuca
+
+import (
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+)
+
+func newM(t *testing.T) (*machine.Machine, *RNUCA) {
+	t.Helper()
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	p := New(m)
+	// The classifier tests exercise the shared-read-only path, which only
+	// triggers for pages never written — including by initialization.
+	p.AssumeInitWritten = false
+	m.SetPolicy(p)
+	return m, p
+}
+
+func TestAssumeInitWrittenDefaultsOn(t *testing.T) {
+	// By default every data page behaves as if initialization wrote it
+	// (the paper observes <1% of blocks ever classify shared read-only):
+	// a page read by two cores therefore becomes shared, not shared-RO.
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	p := New(m)
+	if !p.AssumeInitWritten {
+		t.Fatal("AssumeInitWritten should default to true")
+	}
+	m.SetPolicy(p)
+	m.Access(0, 0x2000, false)
+	m.Access(1, 0x2000, false)
+	pa := m.AS.Translate(0x2000)
+	if cl, _ := p.PageClass(pa); cl != ClassShared {
+		t.Errorf("class = %v, want shared (init-written page)", cl)
+	}
+}
+
+func checkClean(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	for _, v := range m.Violations() {
+		t.Errorf("coherence violation: %s", v)
+	}
+}
+
+func TestFirstTouchIsPrivateLocalBank(t *testing.T) {
+	m, p := newM(t)
+	m.Access(7, 0x1000, false)
+	pa := m.AS.Translate(0x1000)
+	if cl, ok := p.PageClass(pa); !ok || cl != ClassPrivate {
+		t.Errorf("first-touch class = %v, %v", cl, ok)
+	}
+	// Private data goes to the accessor's local bank: distance 0.
+	met := m.Metrics()
+	if met.NUCADistSum != 0 || met.NUCADistCnt != 1 {
+		t.Errorf("private access distance = %d/%d, want 0/1", met.NUCADistSum, met.NUCADistCnt)
+	}
+	checkClean(t, m)
+}
+
+func TestSecondReaderMakesSharedRO(t *testing.T) {
+	m, p := newM(t)
+	m.Access(0, 0x2000, false)
+	m.Access(1, 0x2000, false)
+	pa := m.AS.Translate(0x2000)
+	if cl, _ := p.PageClass(pa); cl != ClassSharedRO {
+		t.Errorf("class after two readers = %v, want shared-ro", cl)
+	}
+	if p.Stats().PrivateToSharedRO != 1 {
+		t.Errorf("transitions = %+v", p.Stats())
+	}
+	if p.Stats().TLBShootdowns != 1 {
+		t.Errorf("shootdowns = %d, want 1", p.Stats().TLBShootdowns)
+	}
+	checkClean(t, m)
+}
+
+func TestWrittenPageSharedOnSecondCore(t *testing.T) {
+	m, p := newM(t)
+	m.Access(0, 0x3000, true) // owner writes
+	m.Access(1, 0x3000, false)
+	pa := m.AS.Translate(0x3000)
+	if cl, _ := p.PageClass(pa); cl != ClassShared {
+		t.Errorf("class = %v, want shared (page was written while private)", cl)
+	}
+	// The second reader must still observe the write.
+	checkClean(t, m)
+}
+
+func TestSharedROWriteFlushesReplicasAndDemotes(t *testing.T) {
+	m, p := newM(t)
+	// Readers in different clusters create replicas.
+	m.Access(0, 0x4000, false)  // cluster 0
+	m.Access(3, 0x4000, false)  // cluster 1
+	m.Access(12, 0x4000, false) // cluster 2
+	pa := m.AS.Translate(0x4000)
+	if cl, _ := p.PageClass(pa); cl != ClassSharedRO {
+		t.Fatalf("class = %v, want shared-ro", cl)
+	}
+	m.Access(5, 0x4000, true) // write demotes
+	if cl, _ := p.PageClass(pa); cl != ClassShared {
+		t.Errorf("class after write = %v, want shared", cl)
+	}
+	if p.Stats().SharedROToShared != 1 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+	// Every earlier reader re-reads and must see the new version.
+	for _, c := range []int{0, 3, 12} {
+		m.Access(c, 0x4000, false)
+	}
+	checkClean(t, m)
+}
+
+func TestSharedNeverReturnsToPrivate(t *testing.T) {
+	m, p := newM(t)
+	m.Access(0, 0x5000, true)
+	m.Access(1, 0x5000, true)
+	pa := m.AS.Translate(0x5000)
+	if cl, _ := p.PageClass(pa); cl != ClassShared {
+		t.Fatalf("class = %v", cl)
+	}
+	// Only core 2 touches it for a long time: still shared (the paper's
+	// temporarily-private limitation).
+	for i := 0; i < 50; i++ {
+		m.Access(2, 0x5000+amath.Addr(i%4)*64, false)
+	}
+	if cl, _ := p.PageClass(pa); cl != ClassShared {
+		t.Errorf("class drifted to %v; OS classification cannot revert", cl)
+	}
+	checkClean(t, m)
+}
+
+func TestSharedROPlacementIsLocalCluster(t *testing.T) {
+	m, _ := newM(t)
+	m.Access(0, 0x6000, false)
+	m.Access(15, 0x6000, false) // cluster 3 (bottom-right quadrant)
+	// Further accesses by core 15 must stay within its cluster: distance
+	// bounded by the cluster diameter (2 for a 2x2 quadrant).
+	before := m.Metrics()
+	for i := 0; i < 16; i++ {
+		m.Access(15, 0x6000+amath.Addr(i)*64, false)
+	}
+	met := m.Metrics()
+	dist := met.NUCADistSum - before.NUCADistSum
+	cnt := met.NUCADistCnt - before.NUCADistCnt
+	if cnt == 0 {
+		t.Fatal("no LLC accesses recorded")
+	}
+	if float64(dist)/float64(cnt) > 2.0 {
+		t.Errorf("avg cluster distance %v > cluster diameter", float64(dist)/float64(cnt))
+	}
+	checkClean(t, m)
+}
+
+func TestReplicasServeDifferentClusters(t *testing.T) {
+	m, _ := newM(t)
+	m.Access(0, 0x7000, false)
+	m.Access(15, 0x7000, false)
+	dram := m.Metrics().DRAMReads
+	// A reader in a third cluster misses its local replica and fetches
+	// its own copy from DRAM (replication costs capacity/refills).
+	m.Access(3, 0x7000, false)
+	if m.Metrics().DRAMReads == dram {
+		t.Log("third-cluster read served without DRAM fetch (replica already interleaved there)")
+	}
+	checkClean(t, m)
+}
+
+func TestBlockClasses(t *testing.T) {
+	m, p := newM(t)
+	m.Access(0, 0x10000, false) // private page, 1 block
+	m.Access(0, 0x10040, false) // same page, 2nd block
+	m.Access(0, 0x20000, false) // another page
+	m.Access(1, 0x20000, false) // -> shared-ro
+	m.Access(2, 0x30000, true)  // private written
+	m.Access(3, 0x30000, true)  // -> shared
+	private, sharedRO, shared := p.BlockClasses()
+	if private != 2 || sharedRO != 1 || shared != 1 {
+		t.Errorf("block classes = %d/%d/%d, want 2/1/1", private, sharedRO, shared)
+	}
+}
+
+func TestReclassificationChargesLatency(t *testing.T) {
+	m, _ := newM(t)
+	m.Access(0, 0x8000, false)
+	lat1 := m.Access(1, 0x8000, false) // triggers reclassification
+	m2, _ := newM(t)
+	m2.Access(1, 0x8000, false)
+	lat2 := m2.Access(1, 0x8040, false) // plain access, same core
+	if lat1 <= lat2 {
+		t.Errorf("reclassifying access (%d cyc) not more expensive than plain (%d cyc)", lat1, lat2)
+	}
+}
+
+func TestWritebackDoesNotReclassify(t *testing.T) {
+	m, p := newM(t)
+	// Fill core 0's L1 with dirty private blocks, then overflow it so
+	// writebacks occur; the victim writebacks must not flip pages shared.
+	for i := 0; i < 400; i++ {
+		m.Access(0, amath.Addr(i)*64, true)
+	}
+	priv, _, shared := p.BlockClasses()
+	if shared != 0 {
+		t.Errorf("writebacks created %d shared blocks (private %d)", shared, priv)
+	}
+	checkClean(t, m)
+}
+
+func TestClassString(t *testing.T) {
+	if ClassPrivate.String() != "private" || ClassSharedRO.String() != "shared-ro" || ClassShared.String() != "shared" {
+		t.Error("Class.String wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+// EventQueue is a binary min-heap of items ordered by cycle time, with a
+// sequence number breaking ties in insertion order so that simulation
+// results never depend on heap internals. It is used by the task
+// scheduler to track core-idle and task-ready events deterministically.
+type EventQueue[T any] struct {
+	items []eqItem[T]
+	seq   uint64
+}
+
+type eqItem[T any] struct {
+	at    Cycles
+	seq   uint64
+	value T
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue[T]) Len() int { return len(q.items) }
+
+// Push enqueues value to fire at the given cycle.
+func (q *EventQueue[T]) Push(at Cycles, value T) {
+	q.items = append(q.items, eqItem[T]{at: at, seq: q.seq, value: value})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Peek returns the earliest event without removing it. ok is false when
+// the queue is empty.
+func (q *EventQueue[T]) Peek() (at Cycles, value T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := q.items[0]
+	return it.at, it.value, true
+}
+
+// Pop removes and returns the earliest event (ties broken FIFO). ok is
+// false when the queue is empty.
+func (q *EventQueue[T]) Pop() (at Cycles, value T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return it.at, it.value, true
+}
+
+func (q *EventQueue[T]) less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *EventQueue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

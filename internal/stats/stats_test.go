@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"Bench", "Value"}}
+	tbl.AddRow("Gauss", "1.26x")
+	tbl.AddRow("LU", "1.59x")
+	s := tbl.String()
+	if !strings.Contains(s, "Gauss") || !strings.Contains(s, "1.59x") {
+		t.Errorf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, ===, header, ---, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := Table{Header: []string{"A", "LongHeader"}}
+	tbl.AddRow("xx", "1")
+	s := tbl.String()
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if strings.HasPrefix(line, "-") {
+			continue
+		}
+		if len(line) < 3 {
+			t.Errorf("suspiciously short line %q", line)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("GeoMean(1,1,1) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean(0) did not panic")
+		}
+	}()
+	GeoMean([]float64{0})
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(0.6234) != "0.62x" {
+		t.Errorf("Ratio = %q", Ratio(0.6234))
+	}
+	if Pct(0.7401) != "74.0%" {
+		t.Errorf("Pct = %q", Pct(0.7401))
+	}
+	if F2(math.Pi) != "3.14" {
+		t.Errorf("F2 = %q", F2(math.Pi))
+	}
+}

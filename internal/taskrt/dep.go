@@ -1,0 +1,71 @@
+// Package taskrt is the task dataflow runtime system (the Nanos++/OmpSs
+// stand-in of Sec. II-D): tasks carry in/out/inout dependencies over
+// virtual address ranges, the runtime builds the Task Dependency Graph as
+// tasks are created in program order, and a dynamic scheduler dispatches
+// ready tasks onto the simulated cores. NUCA policies plug in through the
+// Hooks interface, which fires at task creation, immediately before a
+// task executes on its assigned core (where TD-NUCA issues its
+// tdnuca_register instructions) and at task end (tdnuca_flush/invalidate).
+package taskrt
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+)
+
+// Mode is the dependency direction of a task on a data range, mirroring
+// OpenMP 4.0's depend(in/out/inout) clauses.
+type Mode uint8
+
+const (
+	// In marks data the task only reads.
+	In Mode = 1 << iota
+	// Out marks data the task only writes.
+	Out
+)
+
+// InOut marks data the task both reads and writes.
+const InOut = In | Out
+
+// Reads reports whether the mode includes reading.
+func (m Mode) Reads() bool { return m&In != 0 }
+
+// Writes reports whether the mode includes writing.
+func (m Mode) Writes() bool { return m&Out != 0 }
+
+// String returns the OpenMP clause spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Dep is one task dependency: a virtual address range and how the task
+// uses it. Equal ranges denote the same dependency across tasks (the
+// usual array-section style of task dataflow programs).
+type Dep struct {
+	Range amath.Range
+	Mode  Mode
+}
+
+// DepKey identifies a dependency by its exact range, the key of the
+// runtime's dependency registry and of TD-NUCA's RTCacheDirectory.
+type DepKey struct {
+	Start amath.Addr
+	Size  uint64
+}
+
+// Key returns the dependency's registry key.
+func (d Dep) Key() DepKey { return DepKey{Start: d.Range.Start, Size: d.Range.Size} }
+
+// DepOn is shorthand for constructing a dependency.
+func DepOn(mode Mode, start amath.Addr, size uint64) Dep {
+	return Dep{Range: amath.NewRange(start, size), Mode: mode}
+}

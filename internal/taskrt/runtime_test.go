@@ -1,0 +1,424 @@
+package taskrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+	"tdnuca/internal/policy"
+	"tdnuca/internal/sim"
+)
+
+func newRT(t *testing.T) *Runtime {
+	t.Helper()
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	return New(m, nil, DefaultOptions())
+}
+
+func TestModeSemantics(t *testing.T) {
+	if !In.Reads() || In.Writes() || !Out.Writes() || Out.Reads() {
+		t.Error("In/Out semantics wrong")
+	}
+	if !InOut.Reads() || !InOut.Writes() {
+		t.Error("InOut semantics wrong")
+	}
+	if In.String() != "in" || Out.String() != "out" || InOut.String() != "inout" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestSingleTaskRuns(t *testing.T) {
+	rt := newRT(t)
+	ran := false
+	rt.Spawn("t", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) {
+		ran = true
+		e.SweepWrite(amath.NewRange(0, 4096))
+	})
+	rt.Wait()
+	if !ran {
+		t.Fatal("task body never ran")
+	}
+	if rt.Makespan() == 0 {
+		t.Error("makespan is zero after real work")
+	}
+	if rt.ExecutedTasks() != 1 {
+		t.Errorf("executed = %d", rt.ExecutedTasks())
+	}
+}
+
+func TestRAWDependencyOrdersTasks(t *testing.T) {
+	rt := newRT(t)
+	var order []string
+	w := rt.Spawn("writer", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) {
+		order = append(order, "writer")
+		e.SweepWrite(amath.NewRange(0, 4096))
+		e.Compute(100000) // long task: reader must still wait
+	})
+	r := rt.Spawn("reader", []Dep{DepOn(In, 0, 4096)}, func(e *Exec) {
+		order = append(order, "reader")
+		e.SweepRead(amath.NewRange(0, 4096))
+	})
+	rt.Wait()
+	if len(order) != 2 || order[0] != "writer" {
+		t.Fatalf("execution order = %v", order)
+	}
+	if r.StartedAt < w.EndedAt {
+		t.Errorf("reader started at %d before writer ended at %d", r.StartedAt, w.EndedAt)
+	}
+}
+
+func TestWARAndWAWSerialize(t *testing.T) {
+	rt := newRT(t)
+	r := amath.NewRange(0, 4096)
+	t1 := rt.Spawn("read1", []Dep{{Range: r, Mode: In}}, func(e *Exec) { e.Compute(5000) })
+	t2 := rt.Spawn("write", []Dep{{Range: r, Mode: Out}}, nil)
+	t3 := rt.Spawn("write2", []Dep{{Range: r, Mode: Out}}, nil)
+	rt.Wait()
+	if t2.StartedAt < t1.EndedAt {
+		t.Errorf("WAR violated: write started %d before reader ended %d", t2.StartedAt, t1.EndedAt)
+	}
+	if t3.StartedAt < t2.EndedAt {
+		t.Errorf("WAW violated: write2 started %d before write ended %d", t3.StartedAt, t2.EndedAt)
+	}
+}
+
+func TestIndependentTasksRunInParallel(t *testing.T) {
+	rt := newRT(t)
+	var tasks []*Task
+	for i := 0; i < 16; i++ {
+		start := amath.Addr(i * 1 << 20)
+		tasks = append(tasks, rt.Spawn("p", []Dep{DepOn(Out, start, 4096)}, func(e *Exec) {
+			e.Compute(100000)
+		}))
+	}
+	rt.Wait()
+	cores := map[int]bool{}
+	for _, tk := range tasks {
+		cores[tk.Core] = true
+	}
+	if len(cores) < 8 {
+		t.Errorf("16 independent tasks used only %d cores", len(cores))
+	}
+	// Makespan far below serial sum.
+	if rt.Makespan() > 16*100000/2 {
+		t.Errorf("makespan %d suggests serialization", rt.Makespan())
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	rt := newRT(t)
+	a := amath.NewRange(0, 4096)
+	b := amath.NewRange(1<<20, 4096)
+	top := rt.Spawn("top", []Dep{{Range: a, Mode: Out}, {Range: b, Mode: Out}}, func(e *Exec) { e.Compute(1000) })
+	l := rt.Spawn("left", []Dep{{Range: a, Mode: In}, {Range: amath.NewRange(2<<20, 4096), Mode: Out}}, func(e *Exec) { e.Compute(1000) })
+	r := rt.Spawn("right", []Dep{{Range: b, Mode: In}, {Range: amath.NewRange(3<<20, 4096), Mode: Out}}, func(e *Exec) { e.Compute(1000) })
+	bot := rt.Spawn("bottom", []Dep{
+		{Range: amath.NewRange(2<<20, 4096), Mode: In},
+		{Range: amath.NewRange(3<<20, 4096), Mode: In},
+	}, nil)
+	rt.Wait()
+	if l.StartedAt < top.EndedAt || r.StartedAt < top.EndedAt {
+		t.Error("diamond arms started before top finished")
+	}
+	if bot.StartedAt < l.EndedAt || bot.StartedAt < r.EndedAt {
+		t.Error("bottom started before both arms finished")
+	}
+}
+
+func TestOverlappingRangesSerialize(t *testing.T) {
+	rt := newRT(t)
+	w := rt.Spawn("w", []Dep{DepOn(Out, 0, 8192)}, func(e *Exec) { e.Compute(10000) })
+	// Reader of a sub-range must wait for the whole-range writer.
+	r := rt.Spawn("r", []Dep{DepOn(In, 4096, 1024)}, nil)
+	rt.Wait()
+	if r.StartedAt < w.EndedAt {
+		t.Error("overlapping sub-range read did not serialize after write")
+	}
+}
+
+func TestBarrierSynchronizesPhases(t *testing.T) {
+	rt := newRT(t)
+	r := amath.NewRange(0, 4096)
+	rt.Spawn("p1", []Dep{{Range: r, Mode: Out}}, func(e *Exec) { e.Compute(50000) })
+	rt.Wait()
+	end1 := rt.Makespan()
+	t2 := rt.Spawn("p2", []Dep{{Range: r, Mode: In}}, nil)
+	rt.Wait()
+	if t2.StartedAt < end1 {
+		t.Errorf("phase-2 task started at %d, before barrier at %d", t2.StartedAt, end1)
+	}
+}
+
+func TestCompletedPredecessorAddsNoEdge(t *testing.T) {
+	rt := newRT(t)
+	r := amath.NewRange(0, 4096)
+	rt.Spawn("w", []Dep{{Range: r, Mode: Out}}, nil)
+	rt.Wait()
+	// After the barrier the writer is done; a new reader is immediately ready.
+	rd := rt.Spawn("r", []Dep{{Range: r, Mode: In}}, nil)
+	if rd.unsatisfied != 0 {
+		t.Errorf("reader has %d unsatisfied deps on a finished writer", rd.unsatisfied)
+	}
+	rt.Wait()
+}
+
+func TestHooksFireInOrder(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	h := &recordingHooks{}
+	rt := New(m, h, DefaultOptions())
+	rt.Spawn("a", []Dep{DepOn(Out, 0, 4096)}, nil)
+	rt.Spawn("b", []Dep{DepOn(In, 0, 4096)}, nil)
+	rt.Wait()
+	want := []string{"created:a", "created:b", "start:a", "end:a", "start:b", "end:b"}
+	if len(h.events) != len(want) {
+		t.Fatalf("hook events = %v, want %v", h.events, want)
+	}
+	for i := range want {
+		if h.events[i] != want[i] {
+			t.Fatalf("hook events = %v, want %v", h.events, want)
+		}
+	}
+	// Hook cycles are charged to the makespan and recorded.
+	if rt.HookCost() != 4*10 {
+		t.Errorf("hook cost = %d, want 40", rt.HookCost())
+	}
+}
+
+type recordingHooks struct{ events []string }
+
+func (h *recordingHooks) TaskCreated(t *Task) { h.events = append(h.events, "created:"+t.Name) }
+func (h *recordingHooks) TaskStarting(t *Task, core int) sim.Cycles {
+	h.events = append(h.events, "start:"+t.Name)
+	return 10
+}
+func (h *recordingHooks) TaskEnded(t *Task, core int) sim.Cycles {
+	h.events = append(h.events, "end:"+t.Name)
+	return 10
+}
+
+func TestCreationCostCharged(t *testing.T) {
+	rt := newRT(t)
+	rt.Spawn("a", []Dep{DepOn(Out, 0, 64), DepOn(In, 4096, 64)}, nil)
+	want := DefaultOptions().CreateCost + 2*DefaultOptions().CreateCostPerDep
+	if rt.CreationCost() != want {
+		t.Errorf("creation cost = %d, want %d", rt.CreationCost(), want)
+	}
+	rt.Wait()
+}
+
+func TestSweepHelpersTouchEveryBlock(t *testing.T) {
+	rt := newRT(t)
+	r := amath.NewRange(0, 16*64)
+	rt.Spawn("sweep", []Dep{{Range: r, Mode: InOut}}, func(e *Exec) { e.SweepReadWrite(r) })
+	rt.Wait()
+	met := rt.M.Metrics()
+	if met.Accesses != 32 { // 16 reads + 16 writes
+		t.Errorf("accesses = %d, want 32", met.Accesses)
+	}
+}
+
+func TestSweepDepsFollowsModes(t *testing.T) {
+	rt := newRT(t)
+	deps := []Dep{
+		DepOn(In, 0, 4*64),
+		DepOn(Out, 1<<20, 4*64),
+		DepOn(InOut, 2<<20, 4*64),
+	}
+	tk := rt.Spawn("body", deps, nil)
+	tk.Body = func(e *Exec) { e.SweepDeps(tk) }
+	rt.Wait()
+	// 4 reads + 4 writes + 4 read-modify-writes = 16 accesses.
+	if got := rt.M.Metrics().Accesses; got != 16 {
+		t.Errorf("accesses = %d, want 16", got)
+	}
+	for _, v := range rt.M.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	runOnce := func() []int {
+		cfg := arch.ScaledConfig()
+		m := machine.MustNew(&cfg, 4, 42)
+		m.SetPolicy(policy.NewSNUCA())
+		rt := New(m, nil, DefaultOptions())
+		for i := 0; i < 64; i++ {
+			start := amath.Addr(i%8) * (1 << 20)
+			mode := In
+			if i%3 == 0 {
+				mode = InOut
+			}
+			r := amath.NewRange(start, 8192)
+			rt.Spawn("t", []Dep{{Range: r, Mode: mode}}, func(e *Exec) { e.SweepDeps(rt.tasks[len(rt.tasks)-1]) })
+		}
+		rt.Wait()
+		var cores []int
+		for _, tk := range rt.Tasks() {
+			cores = append(cores, tk.Core)
+		}
+		return cores
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at task %d: core %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChainMakespanIsSerial(t *testing.T) {
+	// A pure chain cannot exploit parallelism: makespan >= sum of bodies.
+	rt := newRT(t)
+	r := amath.NewRange(0, 4096)
+	n := 10
+	for i := 0; i < n; i++ {
+		rt.Spawn("c", []Dep{{Range: r, Mode: InOut}}, func(e *Exec) { e.Compute(1000) })
+	}
+	rt.Wait()
+	if rt.Makespan() < sim.Cycles(n*1000) {
+		t.Errorf("chain makespan %d below serial bound %d", rt.Makespan(), n*1000)
+	}
+}
+
+func TestRegistryOverlapProperty(t *testing.T) {
+	// Random ranges: a writer must always serialize against every earlier
+	// task whose range overlaps.
+	f := func(specs []uint16) bool {
+		if len(specs) > 24 {
+			specs = specs[:24]
+		}
+		cfg := arch.ScaledConfig()
+		m := machine.MustNew(&cfg, 0, 5)
+		m.SetPolicy(policy.NewSNUCA())
+		rt := New(m, nil, DefaultOptions())
+		type spec struct {
+			r    amath.Range
+			mode Mode
+		}
+		var all []spec
+		var tasks []*Task
+		for _, s := range specs {
+			start := amath.Addr(s%64) * 4096
+			size := uint64(s/64%16+1) * 1024
+			mode := In
+			if s&0x8000 != 0 {
+				mode = Out
+			}
+			sp := spec{r: amath.NewRange(start, size), mode: mode}
+			all = append(all, sp)
+			tasks = append(tasks, rt.Spawn("t", []Dep{{Range: sp.r, Mode: sp.mode}}, func(e *Exec) { e.Compute(100) }))
+		}
+		rt.Wait()
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				if !all[i].r.Overlaps(all[j].r) {
+					continue
+				}
+				conflict := all[i].mode.Writes() || all[j].mode.Writes()
+				if conflict && tasks[j].StartedAt < tasks[i].EndedAt {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaitForDrainsOnlyUpToTarget(t *testing.T) {
+	rt := newRT(t)
+	a := rt.Spawn("a", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) { e.Compute(1000) })
+	b := rt.Spawn("b", []Dep{DepOn(In, 0, 4096), DepOn(Out, 1<<20, 4096)}, func(e *Exec) { e.Compute(1000) })
+	c := rt.Spawn("c", []Dep{DepOn(In, 1<<20, 4096)}, func(e *Exec) { e.Compute(1000) })
+	rt.WaitFor(b)
+	if !a.Done() || !b.Done() {
+		t.Error("WaitFor(b) left b's chain unfinished")
+	}
+	if c.Done() {
+		t.Error("WaitFor(b) ran past the target task")
+	}
+	rt.Wait()
+	if !c.Done() {
+		t.Error("Wait after WaitFor did not finish the remainder")
+	}
+}
+
+func TestWaitForEnablesPipelining(t *testing.T) {
+	// Spawning phase b+1 before draining phase b keeps a shared dep's
+	// edge structure alive across the drain point.
+	rt := newRT(t)
+	r := amath.NewRange(0, 4096)
+	p1 := rt.Spawn("p1", []Dep{{Range: r, Mode: In}}, func(e *Exec) { e.Compute(100) })
+	p2 := rt.Spawn("p2", []Dep{{Range: r, Mode: In}}, func(e *Exec) { e.Compute(100) })
+	rt.WaitFor(p1)
+	rt.WaitFor(p2)
+	rt.Wait()
+	if rt.ExecutedTasks() != 2 {
+		t.Errorf("executed %d", rt.ExecutedTasks())
+	}
+}
+
+func TestWaitForCompletedTaskReturnsImmediately(t *testing.T) {
+	rt := newRT(t)
+	a := rt.Spawn("a", []Dep{DepOn(Out, 0, 64)}, nil)
+	rt.Wait()
+	rt.WaitFor(a) // must not panic or hang
+}
+
+func TestCoreSubsetScheduling(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	opts := DefaultOptions()
+	opts.Cores = []int{3, 7, 11}
+	rt := New(m, nil, opts)
+	var tasks []*Task
+	for i := 0; i < 9; i++ {
+		start := amath.Addr(i) << 20
+		tasks = append(tasks, rt.Spawn("t", []Dep{DepOn(Out, start, 4096)}, func(e *Exec) { e.Compute(1000) }))
+	}
+	rt.Wait()
+	for _, tk := range tasks {
+		if tk.Core != 3 && tk.Core != 7 && tk.Core != 11 {
+			t.Errorf("task ran on core %d outside the subset", tk.Core)
+		}
+	}
+}
+
+func TestDisableAffinity(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	opts := DefaultOptions()
+	opts.DisableAffinity = true
+	rt := New(m, nil, opts)
+	r := amath.NewRange(0, 4096)
+	rt.Spawn("w", []Dep{{Range: r, Mode: Out}}, func(e *Exec) { e.Compute(100) })
+	rd := rt.Spawn("r", []Dep{{Range: r, Mode: In}}, func(e *Exec) { e.Compute(100) })
+	rt.Wait()
+	// Affinity is off, but correctness must hold regardless of placement.
+	if !rd.Done() {
+		t.Error("reader never ran")
+	}
+}
+
+func TestDepKeyIdentity(t *testing.T) {
+	a := DepOn(In, 100, 50)
+	b := DepOn(Out, 100, 50)
+	if a.Key() != b.Key() {
+		t.Error("same range different mode should share a key")
+	}
+	c := DepOn(In, 100, 51)
+	if a.Key() == c.Key() {
+		t.Error("different sizes share a key")
+	}
+}

@@ -1,0 +1,68 @@
+package taskrt
+
+import "tdnuca/internal/sim"
+
+// BodyFn is the work a task performs when it executes: it issues memory
+// accesses and compute cycles through the Exec context. Bodies run
+// exactly once, on the core the scheduler picked.
+type BodyFn func(e *Exec)
+
+// Task is one node of the Task Dependency Graph.
+type Task struct {
+	ID   int
+	Name string
+	Deps []Dep
+	Body BodyFn
+
+	// Scheduling state.
+	unsatisfied int     // predecessor tasks not yet finished
+	succs       []*Task // tasks waiting on this one
+	state       taskState
+
+	// Timing, filled in as the task moves through the runtime.
+	CreatedAt sim.Cycles
+	ReadyAt   sim.Cycles
+	StartedAt sim.Cycles
+	EndedAt   sim.Cycles
+	Core      int
+
+	// affinity is the task that produced this task's primary input (the
+	// last writer of its first read dependency at creation time). The
+	// scheduler prefers placing the task on that producer's core —
+	// Nanos++-style data-affinity scheduling, which keeps chained uses of
+	// a dependency on the same tile.
+	affinity *Task
+}
+
+// AffinityCore returns the core of the task's producer, or -1 when the
+// task has no producer or the producer has not been placed yet.
+func (t *Task) AffinityCore() int {
+	if t.affinity == nil {
+		return -1
+	}
+	return t.affinity.Core
+}
+
+type taskState uint8
+
+const (
+	taskCreated taskState = iota
+	taskReady
+	taskRunning
+	taskDone
+)
+
+// Done reports whether the task has finished executing.
+func (t *Task) Done() bool { return t.state == taskDone }
+
+// addEdge records that succ cannot start until t finishes. Duplicate
+// edges between the same pair are collapsed.
+func (t *Task) addEdge(succ *Task) {
+	for _, s := range t.succs {
+		if s == succ {
+			return
+		}
+	}
+	t.succs = append(t.succs, succ)
+	succ.unsatisfied++
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+// gaussGrid is the paper's 40x40 block decomposition (3200 tasks over 2
+// iterations).
+const (
+	gaussGrid  = 40
+	gaussIters = 2
+	// gaussPaperBlock is the per-block footprint at Factor 1.0 (192x192
+	// doubles = 294912B, Table II's 294KB average task size).
+	gaussPaperBlock = 294912
+	// gaussPaperStrip is one boundary row/column of a block (192 doubles).
+	gaussPaperStrip = 1536
+)
+
+// gaussBlock is the blocked storage of one grid block: the interior and
+// the four boundary strips exchanged with neighbours, each a separate
+// dependency range so that the strips — a tiny fraction of the data —
+// carry the both-read-and-written reuse the paper highlights for Gauss.
+type gaussBlock struct {
+	interior                 amath.Range
+	north, south, west, east amath.Range
+}
+
+func gaussLayout(a *arena, f Factor) ([][]gaussBlock, uint64, uint64) {
+	strip := roundUp64(scaleBytes(gaussPaperStrip, f, 64))
+	block := scaleBytes(gaussPaperBlock, f, 64)
+	if block < 6*strip {
+		block = 6 * strip
+	}
+	interior := block - 4*strip
+	blocks := make([][]gaussBlock, gaussGrid)
+	var total uint64
+	for i := range blocks {
+		blocks[i] = make([]gaussBlock, gaussGrid)
+		for j := range blocks[i] {
+			r := a.alloc(block)
+			b := &blocks[i][j]
+			b.interior = amath.NewRange(r.Start, interior)
+			b.north = amath.NewRange(r.Start+amath.Addr(interior), strip)
+			b.south = amath.NewRange(b.north.End(), strip)
+			b.west = amath.NewRange(b.south.End(), strip)
+			b.east = amath.NewRange(b.west.End(), strip)
+			total += block
+		}
+	}
+	return blocks, total, block
+}
+
+// Gauss builds the blocked Gauss-Seidel benchmark: each task updates its
+// block in place (inout interior + inout own strips) reading the facing
+// strips of its four neighbours. Within an iteration the west/north
+// strips were already updated this iteration (tasks are created in
+// row-major order), yielding the classic Gauss-Seidel wavefront TDG; a
+// taskwait separates the two iterations.
+func Gauss(f Factor) Spec {
+	a := newArena()
+	blocks, total, block := gaussLayout(a, f)
+	return Spec{
+		Name: "Gauss",
+		Problem: fmt.Sprintf("%dx%d blocks of %dB, %d iters (%s MB)",
+			gaussGrid, gaussGrid, block, gaussIters, mb(total)),
+		InputBytes:     total,
+		FootprintBytes: total,
+		Build: func(rt *taskrt.Runtime) {
+			for it := 0; it < gaussIters; it++ {
+				for i := 0; i < gaussGrid; i++ {
+					for j := 0; j < gaussGrid; j++ {
+						b := blocks[i][j]
+						deps := []taskrt.Dep{
+							{Range: b.interior, Mode: taskrt.InOut},
+							{Range: b.north, Mode: taskrt.InOut},
+							{Range: b.south, Mode: taskrt.InOut},
+							{Range: b.west, Mode: taskrt.InOut},
+							{Range: b.east, Mode: taskrt.InOut},
+						}
+						if i > 0 {
+							deps = append(deps, taskrt.Dep{Range: blocks[i-1][j].south, Mode: taskrt.In})
+						}
+						if i < gaussGrid-1 {
+							deps = append(deps, taskrt.Dep{Range: blocks[i+1][j].north, Mode: taskrt.In})
+						}
+						if j > 0 {
+							deps = append(deps, taskrt.Dep{Range: blocks[i][j-1].east, Mode: taskrt.In})
+						}
+						if j < gaussGrid-1 {
+							deps = append(deps, taskrt.Dep{Range: blocks[i][j+1].west, Mode: taskrt.In})
+						}
+						sweepTask(rt, fmt.Sprintf("gauss[%d,%d]#%d", i, j, it), deps)
+					}
+				}
+				rt.Wait()
+			}
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	histoBlocks = 900 // 30x30 blocks of 50x50 pixels (Table II)
+	histoFanIn  = 30
+	// histoPaperBlock: 478.75MB image / 900 blocks.
+	histoPaperBlock = 478750 * 1024 / 900
+	histoBins       = 50
+)
+
+// Histo builds the two-pass histogram benchmark: pass 1 scans every image
+// block for its value range (reduced in a tree to a global range), pass 2
+// re-reads every block to bin it, writing a per-block partial histogram
+// and an equalized output block; the partial histograms reduce into the
+// global bins and the output image is checksummed. The image is read
+// twice and every produced block is consumed later, so Histo is
+// reuse-heavy and Out-dependency dominated — bypassing alone cannot help
+// it (Fig. 15).
+func Histo(f Factor) Spec {
+	a := newArena()
+	blockSz := scaleBytes(histoPaperBlock, f, 64)
+	histSz := roundUp64(histoBins * 8)
+	img := make([]amath.Range, histoBlocks)
+	outimg := make([]amath.Range, histoBlocks)
+	minmax := make([]amath.Range, histoBlocks)
+	hist := make([]amath.Range, histoBlocks)
+	var input, footprint uint64
+	for b := 0; b < histoBlocks; b++ {
+		img[b] = a.alloc(blockSz)
+		input += blockSz
+	}
+	for b := 0; b < histoBlocks; b++ {
+		outimg[b] = a.alloc(blockSz)
+		minmax[b] = a.alloc(64)
+		hist[b] = a.alloc(histSz)
+		footprint += blockSz + 64 + histSz
+	}
+	globalRange := a.alloc(64)
+	bins := a.alloc(histSz)
+	footprint += input + 64 + histSz
+
+	return Spec{
+		Name: "Histo",
+		Problem: fmt.Sprintf("%d image blocks of %dB, %d bins, 2 passes (%s MB)",
+			histoBlocks, blockSz, histoBins, mb(input)),
+		InputBytes:     input,
+		FootprintBytes: footprint,
+		Build: func(rt *taskrt.Runtime) {
+			// Pass 1: per-block range detection.
+			for b := 0; b < histoBlocks; b++ {
+				sweepTask(rt, fmt.Sprintf("histo-range[%d]", b), []taskrt.Dep{
+					{Range: img[b], Mode: taskrt.In},
+					{Range: minmax[b], Mode: taskrt.Out},
+				})
+			}
+			// Range reduction tree (fan-in histoFanIn), result in globalRange.
+			level := minmax
+			lvl := 0
+			for len(level) > 1 {
+				var next []amath.Range
+				for g := 0; g < len(level); g += histoFanIn {
+					end := g + histoFanIn
+					if end > len(level) {
+						end = len(level)
+					}
+					var out amath.Range
+					if end == len(level) && g == 0 {
+						out = globalRange
+					} else {
+						out = a.alloc(64)
+					}
+					deps := []taskrt.Dep{{Range: out, Mode: taskrt.Out}}
+					for _, in := range level[g:end] {
+						deps = append(deps, taskrt.Dep{Range: in, Mode: taskrt.In})
+					}
+					sweepTask(rt, fmt.Sprintf("histo-merge%d[%d]", lvl, g/histoFanIn), deps)
+					next = append(next, out)
+				}
+				level = next
+				lvl++
+			}
+			// Pass 2: bin every block against the global range, producing
+			// the equalized output block and a partial histogram.
+			for b := 0; b < histoBlocks; b++ {
+				sweepTask(rt, fmt.Sprintf("histo-bin[%d]", b), []taskrt.Dep{
+					{Range: img[b], Mode: taskrt.In},
+					{Range: level[0], Mode: taskrt.In},
+					{Range: outimg[b], Mode: taskrt.Out},
+					{Range: hist[b], Mode: taskrt.Out},
+				})
+			}
+			// Histogram tree reduction: parallel partial bins, then one
+			// combine task into the shared bins.
+			var partialBins []amath.Range
+			for g := 0; g < histoBlocks; g += histoFanIn {
+				part := a.alloc(histSz)
+				partialBins = append(partialBins, part)
+				deps := []taskrt.Dep{{Range: part, Mode: taskrt.Out}}
+				for b := g; b < g+histoFanIn && b < histoBlocks; b++ {
+					deps = append(deps, taskrt.Dep{Range: hist[b], Mode: taskrt.In})
+				}
+				sweepTask(rt, fmt.Sprintf("histo-reduce[%d]", g/histoFanIn), deps)
+			}
+			combine := []taskrt.Dep{{Range: bins, Mode: taskrt.InOut}}
+			for _, part := range partialBins {
+				combine = append(combine, taskrt.Dep{Range: part, Mode: taskrt.In})
+			}
+			sweepTask(rt, "histo-combine", combine)
+			// Output-image checksum tasks (consume the equalized blocks).
+			for g := 0; g < histoBlocks; g += histoFanIn {
+				deps := []taskrt.Dep{{Range: a.alloc(64), Mode: taskrt.Out}}
+				for b := g; b < g+histoFanIn && b < histoBlocks; b++ {
+					deps = append(deps, taskrt.Dep{Range: outimg[b], Mode: taskrt.In})
+				}
+				sweepTask(rt, fmt.Sprintf("histo-sum[%d]", g/histoFanIn), deps)
+			}
+			rt.Wait()
+		},
+	}
+}

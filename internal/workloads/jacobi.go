@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	jacobiChunks = 64
+	jacobiIters  = 5
+	// jacobiPaperChunk: 16M doubles split into 64 chunks = 2MB per chunk
+	// per buffer (Table II: 264MB total for the two buffers, 320 tasks,
+	// ~4MB average task footprint).
+	jacobiPaperChunk = 2 << 20
+	// jacobiPaperStrip is one matrix row (4096 doubles).
+	jacobiPaperStrip = 32768
+)
+
+// jacobiChunk is the blocked storage of one chunk of one buffer:
+// interior plus the top and bottom halo rows neighbours read.
+type jacobiChunk struct {
+	interior    amath.Range
+	top, bottom amath.Range
+}
+
+func jacobiLayout(a *arena, f Factor) ([2][]jacobiChunk, uint64, uint64) {
+	strip := roundUp64(scaleBytes(jacobiPaperStrip, f, 64))
+	chunk := scaleBytes(jacobiPaperChunk, f, 64)
+	if chunk < 4*strip {
+		chunk = 4 * strip
+	}
+	interior := chunk - 2*strip
+	var bufs [2][]jacobiChunk
+	var total uint64
+	for b := 0; b < 2; b++ {
+		bufs[b] = make([]jacobiChunk, jacobiChunks)
+		for c := range bufs[b] {
+			r := a.alloc(chunk)
+			bufs[b][c] = jacobiChunk{
+				interior: amath.NewRange(r.Start, interior),
+				top:      amath.NewRange(r.Start+amath.Addr(interior), strip),
+				bottom:   amath.NewRange(r.Start+amath.Addr(interior)+amath.Addr(strip), strip),
+			}
+			total += chunk
+		}
+	}
+	return bufs, total, chunk
+}
+
+// Jacobi builds the double-buffered 1D Jacobi stencil: in each iteration
+// every task reads its chunk of the source buffer (plus the neighbouring
+// halo rows) and writes its chunk of the destination buffer, with a
+// taskwait between iterations before the buffers swap. Because each
+// chunk is used exactly once per synchronization window, the runtime
+// predicts almost the entire working set as non-reused — Jacobi is one
+// of the paper's bypass-dominated benchmarks.
+func Jacobi(f Factor) Spec {
+	a := newArena()
+	bufs, total, chunk := jacobiLayout(a, f)
+	return Spec{
+		Name: "Jacobi",
+		Problem: fmt.Sprintf("%d chunks of %dB x2 buffers, %d iters (%s MB)",
+			jacobiChunks, chunk, jacobiIters, mb(total)),
+		InputBytes:     total,
+		FootprintBytes: total,
+		Build: func(rt *taskrt.Runtime) {
+			for it := 0; it < jacobiIters; it++ {
+				src, dst := bufs[it%2], bufs[(it+1)%2]
+				for c := 0; c < jacobiChunks; c++ {
+					deps := []taskrt.Dep{
+						{Range: src[c].interior, Mode: taskrt.In},
+						{Range: src[c].top, Mode: taskrt.In},
+						{Range: src[c].bottom, Mode: taskrt.In},
+						{Range: dst[c].interior, Mode: taskrt.Out},
+						{Range: dst[c].top, Mode: taskrt.Out},
+						{Range: dst[c].bottom, Mode: taskrt.Out},
+					}
+					if c > 0 {
+						deps = append(deps, taskrt.Dep{Range: src[c-1].bottom, Mode: taskrt.In})
+					}
+					if c < jacobiChunks-1 {
+						deps = append(deps, taskrt.Dep{Range: src[c+1].top, Mode: taskrt.In})
+					}
+					sweepTask(rt, fmt.Sprintf("jacobi[%d]#%d", c, it), deps)
+				}
+				rt.Wait()
+			}
+		},
+	}
+}

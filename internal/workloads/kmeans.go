@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	kmeansChunks = 200
+	kmeansFanIn  = 20
+	// kmeansPaperChunk: 450000 points x 90 dims x 8B / 200 chunks
+	// (Table II: 314MB, 228 tasks, ~1.4MB average).
+	kmeansPaperChunk = 450000 * 90 * 8 / 200
+	kmeansClusters   = 6
+	kmeansDims       = 90
+)
+
+// Kmeans builds one k-means iteration: every map task reads its chunk of
+// the points (single use — bypassable) and the shared centroids
+// (replicated read-only), writing a partial sum; reduce tasks fold the
+// partial sums back into the centroids. The points dominate the
+// footprint, so Kmeans is one of the paper's bypass-heavy benchmarks.
+func Kmeans(f Factor) Spec {
+	a := newArena()
+	chunkSz := scaleBytes(kmeansPaperChunk, f, 64)
+	centSz := roundUp64(kmeansClusters * kmeansDims * 8)
+	points := make([]amath.Range, kmeansChunks)
+	psums := make([]amath.Range, kmeansChunks)
+	var input uint64
+	for c := range points {
+		points[c] = a.alloc(chunkSz)
+		input += chunkSz
+	}
+	for c := range psums {
+		psums[c] = a.alloc(centSz)
+	}
+	numPartials := (kmeansChunks + kmeansFanIn - 1) / kmeansFanIn
+	partials := make([]amath.Range, numPartials)
+	for p := range partials {
+		partials[p] = a.alloc(centSz)
+	}
+	centroids := a.alloc(centSz)
+	footprint := input + uint64(kmeansChunks+numPartials+1)*centSz
+
+	return Spec{
+		Name: "Kmeans",
+		Problem: fmt.Sprintf("%d point chunks of %dB, %d clusters, %d dims, 1 iter (%s MB)",
+			kmeansChunks, chunkSz, kmeansClusters, kmeansDims, mb(input)),
+		InputBytes:     input,
+		FootprintBytes: footprint,
+		Build: func(rt *taskrt.Runtime) {
+			for c := 0; c < kmeansChunks; c++ {
+				sweepTask(rt, fmt.Sprintf("kmeans-map[%d]", c), []taskrt.Dep{
+					{Range: points[c], Mode: taskrt.In},
+					{Range: centroids, Mode: taskrt.In},
+					{Range: psums[c], Mode: taskrt.Out},
+				})
+			}
+			// Tree reduction: parallel partial sums, then one combine task.
+			for g := 0; g < kmeansChunks; g += kmeansFanIn {
+				deps := []taskrt.Dep{{Range: partials[g/kmeansFanIn], Mode: taskrt.Out}}
+				for c := g; c < g+kmeansFanIn && c < kmeansChunks; c++ {
+					deps = append(deps, taskrt.Dep{Range: psums[c], Mode: taskrt.In})
+				}
+				sweepTask(rt, fmt.Sprintf("kmeans-reduce[%d]", g/kmeansFanIn), deps)
+			}
+			deps := []taskrt.Dep{{Range: centroids, Mode: taskrt.InOut}}
+			for p := range partials {
+				deps = append(deps, taskrt.Dep{Range: partials[p], Mode: taskrt.In})
+			}
+			sweepTask(rt, "kmeans-combine", deps)
+			rt.Wait()
+		},
+	}
+}

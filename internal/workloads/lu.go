@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	luGrid = 15
+	// luPaperBlock: 3072x3072 doubles over a 15x15 block grid
+	// (Table II: 73.45MB, 1188 tasks of ~318KB).
+	luPaperBlock = 3072 * 3072 * 8 / (luGrid * luGrid)
+	// luCapacityCalib calibrates LU's scaled footprint to the paper's
+	// cache regime: the paper reports ~100% LLC hit ratios for LU in all
+	// three policies (Fig. 10), i.e. the factorization's live working
+	// set effectively fits the LLC. Uniform 1/32 scaling leaves our LU
+	// 2.2x the scaled LLC and capacity-bound, which the paper's is not,
+	// so LU (alone) is scaled by this extra factor. EXPERIMENTS.md
+	// documents the calibration.
+	luCapacityCalib = 0.4
+)
+
+// LU builds the blocked right-looking LU factorization (the same task
+// dataflow shape as the paper's Fig. 2 Cholesky): factor the diagonal
+// block, solve the row and column panels against it, then update the
+// trailing matrix. Panel blocks are read by entire trailing-update waves
+// (replication-friendly) and trailing blocks are read-modified-written
+// across many steps (local-bank friendly), so the whole matrix is deeply
+// reused — LU is where TD-NUCA's replication/local mapping matters most
+// and bypassing alone does nothing (Fig. 15).
+func LU(f Factor) Spec {
+	a := newArena()
+	blockSz := scaleBytes(luPaperBlock, Factor(float64(f)*luCapacityCalib), 64)
+	blocks := make([][]amath.Range, luGrid)
+	var total uint64
+	for i := range blocks {
+		blocks[i] = make([]amath.Range, luGrid)
+		for j := range blocks[i] {
+			blocks[i][j] = a.alloc(blockSz)
+			total += blockSz
+		}
+	}
+	return Spec{
+		Name: "LU",
+		Problem: fmt.Sprintf("%dx%d blocks of %dB (%s MB)",
+			luGrid, luGrid, blockSz, mb(total)),
+		InputBytes:     total,
+		FootprintBytes: total,
+		Build: func(rt *taskrt.Runtime) {
+			for k := 0; k < luGrid; k++ {
+				sweepTask(rt, fmt.Sprintf("lu-factor[%d]", k), []taskrt.Dep{
+					{Range: blocks[k][k], Mode: taskrt.InOut},
+				})
+				for i := k + 1; i < luGrid; i++ {
+					sweepTask(rt, fmt.Sprintf("lu-solveL[%d,%d]", i, k), []taskrt.Dep{
+						{Range: blocks[k][k], Mode: taskrt.In},
+						{Range: blocks[i][k], Mode: taskrt.InOut},
+					})
+				}
+				for j := k + 1; j < luGrid; j++ {
+					sweepTask(rt, fmt.Sprintf("lu-solveU[%d,%d]", k, j), []taskrt.Dep{
+						{Range: blocks[k][k], Mode: taskrt.In},
+						{Range: blocks[k][j], Mode: taskrt.InOut},
+					})
+				}
+				for i := k + 1; i < luGrid; i++ {
+					for j := k + 1; j < luGrid; j++ {
+						sweepTask(rt, fmt.Sprintf("lu-update[%d,%d,%d]", i, j, k), []taskrt.Dep{
+							{Range: blocks[i][k], Mode: taskrt.In},
+							{Range: blocks[k][j], Mode: taskrt.In},
+							{Range: blocks[i][j], Mode: taskrt.InOut},
+						})
+					}
+				}
+			}
+			rt.Wait()
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	md5Buffers = 128
+	// md5PaperBuffer is 4MB (Table II: 128 x 4MB buffers, 128 tasks).
+	md5PaperBuffer = 4 << 20
+)
+
+// MD5 builds the hashing benchmark: 128 independent tasks, each streaming
+// through its own buffer exactly once and emitting a small digest. No
+// byte is ever reused, making MD5 the bypass extreme — the paper's
+// largest LLC-access reduction (0.14x) comes from here.
+func MD5(f Factor) Spec {
+	a := newArena()
+	bufSz := scaleBytes(md5PaperBuffer, f, 64)
+	bufs := make([]amath.Range, md5Buffers)
+	digests := make([]amath.Range, md5Buffers)
+	var input uint64
+	for i := range bufs {
+		bufs[i] = a.alloc(bufSz)
+		digests[i] = a.alloc(64)
+		input += bufSz
+	}
+	return Spec{
+		Name:           "MD5",
+		Problem:        fmt.Sprintf("%d x %dB buffers (%s MB)", md5Buffers, bufSz, mb(input)),
+		InputBytes:     input,
+		FootprintBytes: input + md5Buffers*64,
+		Build: func(rt *taskrt.Runtime) {
+			for i := 0; i < md5Buffers; i++ {
+				sweepTask(rt, fmt.Sprintf("md5[%d]", i), []taskrt.Dep{
+					{Range: bufs[i], Mode: taskrt.In},
+					{Range: digests[i], Mode: taskrt.Out},
+				})
+			}
+			rt.Wait()
+		},
+	}
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/taskrt"
+)
+
+const (
+	rbChunks = 32
+	rbIters  = 5
+	// rbPaperChunk: the 220MB grid splits into a red and a black array of
+	// 110MB each, 32 chunks per colour (Table II: 320 tasks of ~3.5MB).
+	rbPaperChunk = 110 * (1 << 20) / 32
+	// rbPaperStrip is one colour-row (2688 doubles).
+	rbPaperStrip = 21504
+)
+
+type rbChunk struct {
+	interior    amath.Range
+	top, bottom amath.Range
+}
+
+func rbLayout(a *arena, f Factor) ([2][]rbChunk, uint64, uint64) {
+	strip := roundUp64(scaleBytes(rbPaperStrip, f, 64))
+	chunk := scaleBytes(rbPaperChunk, f, 64)
+	if chunk < 4*strip {
+		chunk = 4 * strip
+	}
+	interior := chunk - 2*strip
+	var colors [2][]rbChunk
+	var total uint64
+	for col := 0; col < 2; col++ {
+		colors[col] = make([]rbChunk, rbChunks)
+		for c := range colors[col] {
+			r := a.alloc(chunk)
+			colors[col][c] = rbChunk{
+				interior: amath.NewRange(r.Start, interior),
+				top:      amath.NewRange(r.Start+amath.Addr(interior), strip),
+				bottom:   amath.NewRange(r.Start+amath.Addr(interior)+amath.Addr(strip), strip),
+			}
+			total += chunk
+		}
+	}
+	return colors, total, chunk
+}
+
+// Redblack builds the two-colour Gauss-Seidel relaxation: each iteration
+// first updates every red chunk from the black data, synchronizes, then
+// updates every black chunk from the red data. Every chunk is used once
+// per colour phase, so — like Jacobi — the runtime predicts nearly all
+// of the working set as non-reused.
+func Redblack(f Factor) Spec {
+	a := newArena()
+	colors, total, chunk := rbLayout(a, f)
+	return Spec{
+		Name: "Redblack",
+		Problem: fmt.Sprintf("2 colours x %d chunks of %dB, %d iters (%s MB)",
+			rbChunks, chunk, rbIters, mb(total)),
+		InputBytes:     total,
+		FootprintBytes: total,
+		Build: func(rt *taskrt.Runtime) {
+			phase := func(upd, src []rbChunk, color string, it int) {
+				for c := 0; c < rbChunks; c++ {
+					deps := []taskrt.Dep{
+						{Range: upd[c].interior, Mode: taskrt.InOut},
+						{Range: upd[c].top, Mode: taskrt.InOut},
+						{Range: upd[c].bottom, Mode: taskrt.InOut},
+						{Range: src[c].interior, Mode: taskrt.In},
+						{Range: src[c].top, Mode: taskrt.In},
+						{Range: src[c].bottom, Mode: taskrt.In},
+					}
+					if c > 0 {
+						deps = append(deps, taskrt.Dep{Range: src[c-1].bottom, Mode: taskrt.In})
+					}
+					if c < rbChunks-1 {
+						deps = append(deps, taskrt.Dep{Range: src[c+1].top, Mode: taskrt.In})
+					}
+					sweepTask(rt, fmt.Sprintf("rb-%s[%d]#%d", color, c, it), deps)
+				}
+				rt.Wait()
+			}
+			for it := 0; it < rbIters; it++ {
+				phase(colors[0], colors[1], "red", it)
+				phase(colors[1], colors[0], "black", it)
+			}
+		},
+	}
+}
