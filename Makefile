@@ -1,0 +1,34 @@
+# TD-NUCA reproduction — build / test / CI entry points.
+#
+#   make ci       everything a PR must pass: build, vet, tests, race
+#   make race     race detector over the concurrent harness and the
+#                 packages its worker pool drives
+#   make golden   refresh the golden suite digests after an intentional
+#                 behavioral change
+
+GO ?= go
+
+.PHONY: build test race vet bench golden ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel suite runner fans independent machines/runtimes out across
+# goroutines; the race detector over these packages is the proof that no
+# shared state sneaks back in (e.g. the old package-level WatchBlock).
+race:
+	$(GO) test -race ./internal/harness ./internal/machine ./internal/taskrt
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+golden:
+	$(GO) test ./internal/harness -run Golden -update
+
+ci: build vet test race

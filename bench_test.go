@@ -252,11 +252,25 @@ func BenchmarkClusterSweep(b *testing.B) {
 
 // BenchmarkFullSuite measures one complete 8-benchmark x 3-policy
 // evaluation per iteration — the end-to-end cost of regenerating the
-// paper's main results.
+// paper's main results on the default (one worker per CPU) pool.
+// Compare against BenchmarkFullSuiteSequential for the parallel-harness
+// speedup on a multi-core host.
 func BenchmarkFullSuite(b *testing.B) {
 	cfg := tdnuca.DefaultExperimentConfig()
 	for i := 0; i < b.N; i++ {
 		if _, err := tdnuca.RunSuite(cfg, tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSuiteSequential is the single-goroutine reference for
+// BenchmarkFullSuite (identical results, proven by digest equivalence
+// tests in internal/harness).
+func BenchmarkFullSuiteSequential(b *testing.B) {
+	cfg := tdnuca.DefaultExperimentConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tdnuca.RunSuiteSequential(cfg, tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA); err != nil {
 			b.Fatal(err)
 		}
 	}

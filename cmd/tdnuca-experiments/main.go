@@ -10,6 +10,12 @@
 //	tdnuca-experiments -fig rtoverhead     # Sec. V-E runtime overhead
 //	tdnuca-experiments -factor 0.03125     # workload memory scale
 //	tdnuca-experiments -check              # enable the coherence checker
+//	tdnuca-experiments -all -workers 4     # cap the worker pool (0 = one per CPU)
+//	tdnuca-experiments -digest             # print the suite's behavioral digest
+//
+// Runs fan out across a worker pool (one worker per CPU by default);
+// results are bit-for-bit identical to -workers 1 because every run owns
+// an independent machine and runtime.
 package main
 
 import (
@@ -24,11 +30,13 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 3, 8..15, rrt, occupancy, flush, rtoverhead, ablation, clusters, table1, table2")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		factor = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II scale)")
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		check  = flag.Bool("check", false, "enable the functional coherence checker (slower)")
+		fig     = flag.String("fig", "", "figure to regenerate: 3, 8..15, rrt, occupancy, flush, rtoverhead, ablation, clusters, table1, table2")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		factor  = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II scale)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		check   = flag.Bool("check", false, "enable the functional coherence checker (slower)")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU, 1 = sequential)")
+		digest  = flag.Bool("digest", false, "print the suite's behavioral digest (for regression comparison)")
 	)
 	flag.Parse()
 
@@ -37,7 +45,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Arch.CheckInvariants = *check
 
-	if !*all && *fig == "" {
+	if !*all && *fig == "" && !*digest {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,7 +62,7 @@ func main() {
 		fmt.Println(tbl)
 	}
 
-	needSuite := *all
+	needSuite := *all || *digest
 	for _, f := range []string{"3", "8", "9", "10", "11", "12", "13", "14", "15", "occupancy", "flush"} {
 		if strings.EqualFold(*fig, f) {
 			needSuite = true
@@ -66,12 +74,19 @@ func main() {
 		if *all || want("15") {
 			kinds = append(kinds, tdnuca.TDBypassOnly)
 		}
-		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d policies at factor %g...\n",
-			len(tdnuca.Benchmarks()), len(kinds), *factor)
+		n := *workers
+		if n <= 0 {
+			n = tdnuca.ExperimentWorkers()
+		}
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d policies at factor %g on %d workers...\n",
+			len(tdnuca.Benchmarks()), len(kinds), *factor, n)
 		var err error
-		suite, err = tdnuca.RunSuite(cfg, kinds...)
+		suite, err = tdnuca.RunSuiteParallel(cfg, *workers, kinds...)
 		fail(err)
 		reportViolations(suite)
+		if *digest {
+			fmt.Print(tdnuca.DigestSuite(suite).String())
+		}
 	}
 
 	type figEntry struct {

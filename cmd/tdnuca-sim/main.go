@@ -1,10 +1,12 @@
 // Command tdnuca-sim runs one benchmark under one NUCA policy and prints
-// every metric the run produced.
+// every metric the run produced. With -policy all it runs every policy
+// in parallel (one simulation per worker) and prints a comparison table.
 //
 // Usage:
 //
 //	tdnuca-sim -bench LU -policy tdnuca
 //	tdnuca-sim -bench MD5 -policy snuca -factor 0.03125 -check
+//	tdnuca-sim -bench LU -policy all -workers 4
 //	tdnuca-sim -list
 package main
 
@@ -25,14 +27,20 @@ var policies = map[string]tdnuca.PolicyKind{
 	"tdnuca-noisa":  tdnuca.TDNoISA,
 }
 
+// allPolicyOrder is the comparison-table row order for -policy all.
+var allPolicyOrder = []tdnuca.PolicyKind{
+	tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA, tdnuca.TDBypassOnly, tdnuca.TDNoISA,
+}
+
 func main() {
 	var (
-		bench  = flag.String("bench", "LU", "benchmark name (see -list)")
-		pol    = flag.String("policy", "tdnuca", "snuca | rnuca | tdnuca | tdnuca-bypass | tdnuca-noisa")
-		factor = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II)")
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		check  = flag.Bool("check", false, "enable the functional coherence checker")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
+		bench   = flag.String("bench", "LU", "benchmark name (see -list)")
+		pol     = flag.String("policy", "tdnuca", "snuca | rnuca | tdnuca | tdnuca-bypass | tdnuca-noisa | all")
+		factor  = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		check   = flag.Bool("check", false, "enable the functional coherence checker")
+		workers = flag.Int("workers", 0, "parallel workers for -policy all (0 = one per CPU)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -40,15 +48,20 @@ func main() {
 		fmt.Println(strings.Join(tdnuca.Benchmarks(), "\n"))
 		return
 	}
+	cfg := tdnuca.DefaultExperimentConfig()
+	cfg.Factor = tdnuca.WorkloadFactor(*factor)
+	cfg.Seed = *seed
+	cfg.Arch.CheckInvariants = *check
+
+	if strings.EqualFold(*pol, "all") {
+		comparePolicies(*bench, cfg, *workers)
+		return
+	}
 	kind, ok := policies[strings.ToLower(*pol)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tdnuca-sim: unknown policy %q\n", *pol)
 		os.Exit(2)
 	}
-	cfg := tdnuca.DefaultExperimentConfig()
-	cfg.Factor = tdnuca.WorkloadFactor(*factor)
-	cfg.Seed = *seed
-	cfg.Arch.CheckInvariants = *check
 
 	r, err := tdnuca.RunBenchmark(*bench, kind, cfg)
 	if err != nil {
@@ -91,6 +104,44 @@ func main() {
 		fmt.Printf("  COHERENCE VIOLATION %s\n", v)
 	}
 	if len(r.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// comparePolicies runs one benchmark under every policy on the parallel
+// harness and prints the head-to-head table, normalized to S-NUCA.
+func comparePolicies(bench string, cfg tdnuca.ExperimentConfig, workers int) {
+	jobs := make([]tdnuca.ExperimentJob, len(allPolicyOrder))
+	for i, k := range allPolicyOrder {
+		jobs[i] = tdnuca.ExperimentJob{Bench: bench, Kind: k, Cfg: cfg}
+	}
+	results, err := tdnuca.RunExperiments(jobs, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-sim:", err)
+		os.Exit(1)
+	}
+	base := results[0] // S-NUCA
+	tbl := tdnuca.Table{
+		Title: fmt.Sprintf("%s: policy comparison (factor %g, seed %d)",
+			bench, float64(cfg.Factor), cfg.Seed),
+		Header: []string{"Policy", "Cycles", "Speedup", "LLC hit", "NUCA dist", "Byte-hops", "Digest"},
+	}
+	violations := 0
+	for i, r := range results {
+		tbl.AddRow(string(allPolicyOrder[i]),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.2fx", r.Speedup(base)),
+			fmt.Sprintf("%.1f%%", 100*r.Metrics.LLCHitRatio()),
+			fmt.Sprintf("%.2f", r.Metrics.NUCADistance()),
+			fmt.Sprintf("%d", r.DataMovement),
+			fmt.Sprintf("%016x", r.Digest()))
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "COHERENCE VIOLATION %s: %s\n", allPolicyOrder[i], v)
+			violations++
+		}
+	}
+	fmt.Println(tbl)
+	if violations > 0 {
 		os.Exit(1)
 	}
 }

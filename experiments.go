@@ -28,10 +28,47 @@ func RunBenchmark(bench string, kind PolicyKind, cfg ExperimentConfig) (Result, 
 	return harness.Run(bench, kind, cfg)
 }
 
-// RunSuite executes all benchmarks under each policy.
+// RunSuite executes all benchmarks under each policy, fanning runs out
+// across one worker per CPU. Results are bit-for-bit identical to the
+// sequential runner (each run owns its machine and runtime).
 func RunSuite(cfg ExperimentConfig, kinds ...PolicyKind) (Suite, error) {
 	return harness.RunSuite(cfg, kinds...)
 }
+
+// RunSuiteParallel is RunSuite with an explicit worker-pool size
+// (workers <= 0 means one per CPU).
+func RunSuiteParallel(cfg ExperimentConfig, workers int, kinds ...PolicyKind) (Suite, error) {
+	return harness.RunSuiteParallel(cfg, workers, kinds...)
+}
+
+// RunSuiteSequential executes the suite one run at a time — the
+// reference the parallel runner is tested for equivalence against.
+func RunSuiteSequential(cfg ExperimentConfig, kinds ...PolicyKind) (Suite, error) {
+	return harness.RunSuiteSequential(cfg, kinds...)
+}
+
+// ExperimentJob names one simulation for RunExperiments: a benchmark
+// under a policy with a configuration.
+type ExperimentJob = harness.Job
+
+// SuiteDigest is the canonical behavioral fingerprint of a Suite; see
+// DigestSuite.
+type SuiteDigest = harness.SuiteDigest
+
+// RunExperiments executes an arbitrary batch of jobs on a worker pool
+// (workers <= 0 means one per CPU), returning results in job order.
+func RunExperiments(jobs []ExperimentJob, workers int) ([]Result, error) {
+	return harness.RunMany(jobs, workers)
+}
+
+// DigestSuite fingerprints a Suite: a stable FNV-1a hash per
+// (benchmark, policy) over every counter the run produced, in canonical
+// order, plus a combined hash. Identical digests mean identical
+// simulated behavior; Result.Digest gives the per-run hash.
+func DigestSuite(s Suite) SuiteDigest { return harness.DigestSuite(s) }
+
+// ExperimentWorkers returns the default worker-pool size (one per CPU).
+func ExperimentWorkers() int { return harness.DefaultWorkers() }
 
 // The figure and table generators of the paper's evaluation section.
 // Fig3 and Figs. 8-14 need a Suite with SNUCA, RNUCA and TDNUCA results;

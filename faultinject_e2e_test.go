@@ -1,0 +1,81 @@
+// End-to-end fault injection for the coherence verifier: a deliberately
+// broken NUCA policy driven through the full public API — task runtime,
+// scheduler and machine — must be *caught*, not just when accesses are
+// hand-issued (internal/machine has those tests) but on a real task
+// graph. A silently dead checker would make every "no violations"
+// assertion in the suite worthless.
+package tdnuca_test
+
+import (
+	"strings"
+	"testing"
+
+	"tdnuca"
+)
+
+// migratingHomePolicy remaps every block to a different bank on each
+// placement decision without ever flushing the old home — the canonical
+// skipped-flush bug: dirty data strands in the previous bank while later
+// reads are served from the new one.
+type migratingHomePolicy struct{ n int }
+
+func (p *migratingHomePolicy) Name() string       { return "migrating-home-test" }
+func (p *migratingHomePolicy) LookupPenalty() int { return 0 }
+func (p *migratingHomePolicy) UsesRRT() bool      { return false }
+func (p *migratingHomePolicy) Place(ac tdnuca.AccessContext) (tdnuca.Placement, tdnuca.Cycles) {
+	p.n++
+	return tdnuca.Placement{Kind: tdnuca.PlaceSingleBank, Bank: p.n % 16}, 0
+}
+
+func TestVerifierCatchesSkippedFlushEndToEnd(t *testing.T) {
+	cfg := tdnuca.ScaledConfig()
+	cfg.CheckInvariants = true
+	sys, err := tdnuca.NewSystem(tdnuca.SystemConfig{
+		Arch:   &cfg,
+		Custom: func(m *tdnuca.Machine) tdnuca.CustomPolicy { return &migratingHomePolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A producer/consumer chain over a region large enough to overflow
+	// the producer's L1, so dirty victims land in (and strand at) the
+	// flip-flopping home banks before the consumers read them.
+	buf := tdnuca.Region(0x100000, 256<<10)
+	sys.Spawn("producer", []tdnuca.Dep{{Range: buf, Mode: tdnuca.Out}}, nil)
+	sys.Spawn("consumer", []tdnuca.Dep{{Range: buf, Mode: tdnuca.In}}, nil)
+	sys.Spawn("rewriter", []tdnuca.Dep{{Range: buf, Mode: tdnuca.InOut}}, nil)
+	sys.Spawn("reader", []tdnuca.Dep{{Range: buf, Mode: tdnuca.In}}, nil)
+	sys.Wait()
+
+	violations := sys.Violations()
+	if len(violations) == 0 {
+		t.Fatal("verifier reported no violations for a policy that never flushes migrating homes")
+	}
+	if !strings.Contains(strings.Join(violations, "\n"), "stale") {
+		t.Errorf("expected stale-data violations, got: %v", violations)
+	}
+}
+
+// TestVerifierCleanOnSoundPolicies is the control: the same task graph
+// under every real policy must stay violation-free, so the previous
+// test's failures are attributable to the injected bug alone.
+func TestVerifierCleanOnSoundPolicies(t *testing.T) {
+	for _, kind := range []tdnuca.PolicyKind{tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA} {
+		cfg := tdnuca.ScaledConfig()
+		cfg.CheckInvariants = true
+		sys, err := tdnuca.NewSystem(tdnuca.SystemConfig{Arch: &cfg, Policy: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := tdnuca.Region(0x100000, 256<<10)
+		sys.Spawn("producer", []tdnuca.Dep{{Range: buf, Mode: tdnuca.Out}}, nil)
+		sys.Spawn("consumer", []tdnuca.Dep{{Range: buf, Mode: tdnuca.In}}, nil)
+		sys.Spawn("rewriter", []tdnuca.Dep{{Range: buf, Mode: tdnuca.InOut}}, nil)
+		sys.Spawn("reader", []tdnuca.Dep{{Range: buf, Mode: tdnuca.In}}, nil)
+		sys.Wait()
+		if v := sys.Violations(); len(v) > 0 {
+			t.Errorf("%s: clean task graph reported violations: %v", kind, v)
+		}
+	}
+}

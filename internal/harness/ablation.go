@@ -29,41 +29,39 @@ func AblationTable(cfg Config) (stats.Table, error) {
 		{"eager flush + no affinity", func(c *Config) { c.EagerFlush = true; c.RT.DisableAffinity = true }},
 		{"no NoC contention", func(c *Config) { c.Arch.NoCContention = false }},
 	}
+	// Every variant's S-NUCA baseline and TD-NUCA run in one flat batch.
+	var jobs []Job
 	for _, v := range variants {
-		row, err := ablationRow(cfg, v)
-		if err != nil {
-			return t, err
+		cfgV := cfg
+		v.mutate(&cfgV)
+		for _, b := range PaperBenchOrder {
+			jobs = append(jobs,
+				Job{Bench: b, Kind: SNUCA, Cfg: cfgV},
+				Job{Bench: b, Kind: TDNUCA, Cfg: cfgV})
 		}
-		t.Rows = append(t.Rows, row)
+	}
+	results, err := RunMany(jobs, 0)
+	if err != nil {
+		return t, err
+	}
+	perVariant := 2 * len(PaperBenchOrder)
+	for vi, v := range variants {
+		var speedups []float64
+		perBench := map[string]float64{}
+		for bi, b := range PaperBenchOrder {
+			s := results[vi*perVariant+2*bi]
+			td := results[vi*perVariant+2*bi+1]
+			sp := td.Speedup(s)
+			speedups = append(speedups, sp)
+			perBench[b] = sp
+		}
+		t.AddRow(v.name,
+			stats.Ratio(stats.GeoMean(speedups)),
+			stats.Ratio(perBench["Gauss"]),
+			stats.Ratio(perBench["LU"]),
+			stats.Ratio(perBench["MD5"]))
 	}
 	return t, nil
-}
-
-func ablationRow(base Config, v ablationVariant) ([]string, error) {
-	cfg := base
-	v.mutate(&cfg)
-	var speedups []float64
-	perBench := map[string]float64{}
-	for _, b := range PaperBenchOrder {
-		s, err := Run(b, SNUCA, cfg)
-		if err != nil {
-			return nil, err
-		}
-		td, err := Run(b, TDNUCA, cfg)
-		if err != nil {
-			return nil, err
-		}
-		sp := td.Speedup(s)
-		speedups = append(speedups, sp)
-		perBench[b] = sp
-	}
-	return []string{
-		v.name,
-		stats.Ratio(stats.GeoMean(speedups)),
-		stats.Ratio(perBench["Gauss"]),
-		stats.Ratio(perBench["LU"]),
-		stats.Ratio(perBench["MD5"]),
-	}, nil
 }
 
 // ClusterSweep varies the LLC replication cluster geometry: 1x1 clusters
@@ -79,28 +77,33 @@ func ClusterSweep(cfg Config, dims [][2]int) (stats.Table, error) {
 	for _, d := range dims {
 		t.Header = append(t.Header, fmt.Sprintf("%dx%d", d[0], d[1]))
 	}
-	bases := map[string]Result{}
+	// The cluster-independent S-NUCA baselines followed by each
+	// geometry's TD-NUCA runs, as one batch.
+	jobs := make([]Job, 0, (1+len(dims))*len(PaperBenchOrder))
 	for _, b := range PaperBenchOrder {
-		r, err := Run(b, SNUCA, cfg)
-		if err != nil {
-			return t, err
-		}
-		bases[b] = r
+		jobs = append(jobs, Job{Bench: b, Kind: SNUCA, Cfg: cfg})
 	}
-	cells := map[string][]string{}
-	sums := make([]float64, len(dims))
-	for di, d := range dims {
+	for _, d := range dims {
 		c := cfg
 		c.Arch.ClusterWidth, c.Arch.ClusterHeight = d[0], d[1]
 		if err := c.Arch.Validate(); err != nil {
 			return t, fmt.Errorf("cluster %dx%d: %w", d[0], d[1], err)
 		}
 		for _, b := range PaperBenchOrder {
-			r, err := Run(b, TDNUCA, c)
-			if err != nil {
-				return t, err
-			}
-			sp := r.Speedup(bases[b])
+			jobs = append(jobs, Job{Bench: b, Kind: TDNUCA, Cfg: c})
+		}
+	}
+	results, err := RunMany(jobs, 0)
+	if err != nil {
+		return t, err
+	}
+	bases := results[:len(PaperBenchOrder)]
+	cells := map[string][]string{}
+	sums := make([]float64, len(dims))
+	for di := range dims {
+		batch := results[(1+di)*len(PaperBenchOrder) : (2+di)*len(PaperBenchOrder)]
+		for bi, b := range PaperBenchOrder {
+			sp := batch[bi].Speedup(bases[bi])
 			cells[b] = append(cells[b], stats.Ratio(sp))
 			sums[di] += sp
 		}

@@ -32,12 +32,17 @@ func TableII(cfg Config) (stats.Table, error) {
 		Title:  fmt.Sprintf("Table II: benchmarks at memory factor %.4f", float64(cfg.Factor)),
 		Header: []string{"Bench", "Problem set", "Input (MB)", "Tasks", "Avg task (KB)"},
 	}
+	var jobs []Job
 	for _, name := range workloads.Names() {
+		jobs = append(jobs, Job{Bench: name, Kind: SNUCA, Cfg: cfg})
+	}
+	results, err := RunMany(jobs, 0)
+	if err != nil {
+		return t, err
+	}
+	for i, name := range workloads.Names() {
 		spec, _ := workloads.Get(name, cfg.Factor)
-		r, err := Run(name, SNUCA, cfg)
-		if err != nil {
-			return t, err
-		}
+		r := results[i]
 		t.AddRow(name, spec.Problem,
 			fmt.Sprintf("%.2f", float64(spec.InputBytes)/(1<<20)),
 			fmt.Sprintf("%d", r.Tasks),
@@ -220,30 +225,44 @@ func RRTLatencySweep(cfg Config, latencies []int) (stats.Table, error) {
 		Title:  "Sec. V-E: performance overhead of RRT latency (vs 0-cycle RRT)",
 		Header: []string{"RRT latency", "avg slowdown", "paper"},
 	}
-	baselines := map[string]Result{}
+	// One flat batch: the zero-latency baselines first, then every
+	// non-zero latency's full benchmark set.
+	cfg0 := cfg
+	cfg0.Arch.RRTLatency = 0
+	var jobs []Job
 	for _, b := range PaperBenchOrder {
-		cfg0 := cfg
-		cfg0.Arch.RRTLatency = 0
-		r, err := Run(b, TDNUCA, cfg0)
-		if err != nil {
-			return t, err
+		jobs = append(jobs, Job{Bench: b, Kind: TDNUCA, Cfg: cfg0})
+	}
+	var swept []int
+	for _, lat := range latencies {
+		if lat == 0 {
+			continue
 		}
-		baselines[b] = r
+		cfgL := cfg
+		cfgL.Arch.RRTLatency = lat
+		swept = append(swept, lat)
+		for _, b := range PaperBenchOrder {
+			jobs = append(jobs, Job{Bench: b, Kind: TDNUCA, Cfg: cfgL})
+		}
+	}
+	results, err := RunMany(jobs, 0)
+	if err != nil {
+		return t, err
+	}
+	baselines := results[:len(PaperBenchOrder)]
+	byLat := map[int][]Result{}
+	for i, lat := range swept {
+		start := (i + 1) * len(PaperBenchOrder)
+		byLat[lat] = results[start : start+len(PaperBenchOrder)]
 	}
 	for _, lat := range latencies {
 		if lat == 0 {
 			t.AddRow("0 cycles", "0.00%", stats.Pct(PaperRRTLatencyOverhead[0]))
 			continue
 		}
-		cfgL := cfg
-		cfgL.Arch.RRTLatency = lat
 		var slows []float64
-		for _, b := range PaperBenchOrder {
-			r, err := Run(b, TDNUCA, cfgL)
-			if err != nil {
-				return t, err
-			}
-			slows = append(slows, float64(r.Cycles)/float64(baselines[b].Cycles)-1)
+		for bi := range PaperBenchOrder {
+			slows = append(slows, float64(byLat[lat][bi].Cycles)/float64(baselines[bi].Cycles)-1)
 		}
 		paper := ""
 		if p, ok := PaperRRTLatencyOverhead[lat]; ok {
@@ -301,16 +320,19 @@ func RuntimeOverheadTable(cfg Config) (stats.Table, error) {
 		Title:  "Sec. V-E: runtime-system extension overhead (no ISA, vs S-NUCA)",
 		Header: []string{"Bench", "overhead", "paper"},
 	}
-	var all []float64
+	var jobs []Job
 	for _, b := range PaperBenchOrder {
-		base, err := Run(b, SNUCA, cfg)
-		if err != nil {
-			return t, err
-		}
-		no, err := Run(b, TDNoISA, cfg)
-		if err != nil {
-			return t, err
-		}
+		jobs = append(jobs,
+			Job{Bench: b, Kind: SNUCA, Cfg: cfg},
+			Job{Bench: b, Kind: TDNoISA, Cfg: cfg})
+	}
+	results, err := RunMany(jobs, 0)
+	if err != nil {
+		return t, err
+	}
+	var all []float64
+	for i, b := range PaperBenchOrder {
+		base, no := results[2*i], results[2*i+1]
 		ov := float64(no.Cycles)/float64(base.Cycles) - 1
 		all = append(all, ov)
 		t.AddRow(b, fmt.Sprintf("%.3f%%", 100*ov), "<0.03%")

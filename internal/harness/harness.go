@@ -198,18 +198,10 @@ func MustRun(bench string, kind PolicyKind, cfg Config) Result {
 // keyed [benchmark][policy]. The main figures all derive from one Suite.
 type Suite map[string]map[PolicyKind]Result
 
-// RunSuite executes every Table II benchmark under each given policy.
+// RunSuite executes every Table II benchmark under each given policy,
+// fanning the runs out across DefaultWorkers goroutines. Results are
+// bit-for-bit identical to RunSuiteSequential (each run owns its machine
+// and runtime); pass an explicit worker count via RunSuiteParallel.
 func RunSuite(cfg Config, kinds ...PolicyKind) (Suite, error) {
-	s := make(Suite)
-	for _, bench := range workloads.Names() {
-		s[bench] = make(map[PolicyKind]Result, len(kinds))
-		for _, k := range kinds {
-			r, err := Run(bench, k, cfg)
-			if err != nil {
-				return nil, err
-			}
-			s[bench][k] = r
-		}
-	}
-	return s, nil
+	return RunSuiteParallel(cfg, 0, kinds...)
 }

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tdnuca/internal/workloads"
+)
+
+// Job names one simulation: a benchmark executed under a policy with a
+// configuration. RunMany executes a batch of them concurrently; every
+// multi-run experiment (suites, sweeps, ablations) is expressed as a
+// batch of Jobs.
+type Job struct {
+	Bench string
+	Kind  PolicyKind
+	Cfg   Config
+}
+
+// DefaultWorkers is the worker-pool size used when a caller passes
+// workers <= 0: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// validate rejects a malformed job before any goroutine is spawned, so
+// RunMany reports configuration errors deterministically (lowest job
+// index first) regardless of scheduling.
+func (j Job) validate() error {
+	if _, ok := workloads.Get(j.Bench, j.Cfg.Factor); !ok {
+		return fmt.Errorf("harness: unknown benchmark %q", j.Bench)
+	}
+	switch j.Kind {
+	case SNUCA, RNUCA, TDNUCA, TDBypassOnly, TDNoISA:
+	default:
+		return fmt.Errorf("harness: unknown policy %q", j.Kind)
+	}
+	if err := j.Cfg.Arch.Validate(); err != nil {
+		return fmt.Errorf("harness: %s under %s: %w", j.Bench, j.Kind, err)
+	}
+	return nil
+}
+
+// RunMany executes the jobs on a worker pool of up to workers goroutines
+// (workers <= 0 means DefaultWorkers) and returns the results in job
+// order. Each job gets a fully independent machine and runtime, so runs
+// are bit-for-bit identical to executing the same jobs sequentially —
+// results depend only on (Bench, Kind, Cfg), never on scheduling.
+//
+// Errors are deterministic: every job is validated up front and the
+// lowest-index error is returned before any work starts. Should a run
+// nevertheless fail mid-flight, the pool stops handing out new jobs,
+// drains, and returns the lowest-index error it observed. RunMany never
+// leaks goroutines: it returns only after every worker has exited.
+func RunMany(jobs []Job, workers int) ([]Result, error) {
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				r, err := Run(jobs[i].Bench, jobs[i].Kind, jobs[i].Cfg)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// suiteJobs builds the benchmark x policy cross-product in canonical
+// order (Table II benchmark order, then the given policy order).
+func suiteJobs(cfg Config, kinds []PolicyKind) []Job {
+	jobs := make([]Job, 0, len(workloads.Names())*len(kinds))
+	for _, bench := range workloads.Names() {
+		for _, k := range kinds {
+			jobs = append(jobs, Job{Bench: bench, Kind: k, Cfg: cfg})
+		}
+	}
+	return jobs
+}
+
+// assembleSuite indexes RunMany results back into the Suite map.
+func assembleSuite(jobs []Job, results []Result) Suite {
+	s := make(Suite)
+	for i, j := range jobs {
+		per := s[j.Bench]
+		if per == nil {
+			per = make(map[PolicyKind]Result)
+			s[j.Bench] = per
+		}
+		per[j.Kind] = results[i]
+	}
+	return s
+}
+
+// RunSuiteParallel executes every Table II benchmark under each policy on
+// a worker pool of up to workers goroutines (<= 0 means DefaultWorkers).
+// The resulting Suite is identical to RunSuiteSequential's: each run owns
+// its machine and runtime, so DigestSuite fingerprints match bit for bit.
+func RunSuiteParallel(cfg Config, workers int, kinds ...PolicyKind) (Suite, error) {
+	jobs := suiteJobs(cfg, kinds)
+	results, err := RunMany(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	return assembleSuite(jobs, results), nil
+}
+
+// RunSuiteSequential executes the suite one run at a time on the calling
+// goroutine — the reference implementation the equivalence tests compare
+// RunSuiteParallel against, and the right choice when profiling a single
+// run or running inside an already-parallel caller.
+func RunSuiteSequential(cfg Config, kinds ...PolicyKind) (Suite, error) {
+	s := make(Suite)
+	for _, bench := range workloads.Names() {
+		s[bench] = make(map[PolicyKind]Result, len(kinds))
+		for _, k := range kinds {
+			r, err := Run(bench, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s[bench][k] = r
+		}
+	}
+	return s, nil
+}

@@ -9,6 +9,7 @@ package machine
 
 import (
 	"fmt"
+	"io"
 
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
@@ -168,6 +169,11 @@ type Machine struct {
 	writeObs WriteObserver // non-nil when policy implements WriteObserver
 	met      Metrics
 	ver      *verifier
+
+	// Coherence-trace state (SetWatchBlock). Per machine so concurrent
+	// runs cannot race on it.
+	watchBlock amath.Addr
+	watchW     io.Writer
 }
 
 // New builds a machine for the given configuration. The address space is

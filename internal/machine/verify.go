@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"tdnuca/internal/amath"
@@ -9,14 +10,24 @@ import (
 	"tdnuca/internal/cache"
 )
 
-// WatchBlock, when set to a block base address (and CheckInvariants is
-// on), prints every verifier-visible event on that block to stderr — a
-// debugging aid for tracing coherence through the policies.
-var WatchBlock amath.Addr
+// SetWatchBlock arms the per-machine coherence trace: when pa is a block
+// base address (and CheckInvariants is on), every verifier-visible event
+// on that block is printed to w — a debugging aid for tracing coherence
+// through the policies. A nil w means stderr; pa 0 disarms the trace.
+//
+// The watch state is a Machine field, not a package-level variable, so
+// machines running concurrently (harness.RunSuiteParallel) never share
+// or race on it.
+func (m *Machine) SetWatchBlock(pa amath.Addr, w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	m.watchBlock, m.watchW = pa, w
+}
 
 func (m *Machine) watch(pa amath.Addr, format string, args ...any) {
-	if WatchBlock != 0 && pa == WatchBlock {
-		fmt.Fprintf(os.Stderr, "watch %#x: %s\n", uint64(pa), fmt.Sprintf(format, args...))
+	if m.watchBlock != 0 && pa == m.watchBlock {
+		fmt.Fprintf(m.watchW, "watch %#x: %s\n", uint64(pa), fmt.Sprintf(format, args...))
 	}
 }
 

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+)
+
+// The watch trace used to be a package-level variable consulted on the
+// verifier hot path; it now lives on the Machine so concurrent runs
+// cannot race. These tests pin the per-machine semantics.
+
+func TestSetWatchBlockTracesOneMachineOnly(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	watched := MustNew(&cfg, 0, 1)
+	silent := MustNew(&cfg, 0, 1)
+	watched.SetPolicy(&flipFlopPolicy{})
+	silent.SetPolicy(&flipFlopPolicy{})
+
+	var buf, other bytes.Buffer
+	watched.SetWatchBlock(0x1000, &buf)
+	silent.SetWatchBlock(0, &other) // disarmed
+
+	for _, m := range []*Machine{watched, silent} {
+		m.Access(0, 0x1000, true)
+		m.Access(1, 0x1000, false)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "watch 0x1000") {
+		t.Errorf("watched machine produced no trace for 0x1000:\n%s", out)
+	}
+	if other.Len() != 0 {
+		t.Errorf("disarmed machine traced anyway:\n%s", other.String())
+	}
+}
+
+func TestWatchIgnoresOtherBlocks(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(&flipFlopPolicy{})
+	var buf bytes.Buffer
+	m.SetWatchBlock(0x8000, &buf)
+	m.Access(0, amath.Addr(0x1000), true)
+	if buf.Len() != 0 {
+		t.Errorf("trace for unwatched block:\n%s", buf.String())
+	}
+}

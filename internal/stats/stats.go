@@ -29,13 +29,18 @@ func (t Table) String() string {
 		b.WriteString(strings.Repeat("=", len(t.Title)))
 		b.WriteByte('\n')
 	}
+	// Column widths cover the longest row, not just the header, so a row
+	// with more cells than the header still renders aligned instead of
+	// spilling unpadded text past the last column.
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

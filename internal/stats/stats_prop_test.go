@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Deterministic pseudo-random positive values for the mean properties
+// (xorshift64; no global RNG so the tests are reproducible bit for bit).
+func randomPositives(seed uint64, n int) []float64 {
+	xs := make([]float64, n)
+	s := seed
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		// Spread over roughly (0, 8]: ratios in the harness live there.
+		xs[i] = float64(s%8000+1) / 1000.0
+	}
+	return xs
+}
+
+func TestGeoMeanReciprocalProperty(t *testing.T) {
+	// geomean(1/x) == 1/geomean(x): the defining property that makes the
+	// geometric mean the right aggregate for speedup ratios — it cannot
+	// be gamed by swapping which configuration is the baseline.
+	for seed := uint64(1); seed <= 20; seed++ {
+		xs := randomPositives(seed, 8)
+		inv := make([]float64, len(xs))
+		for i, x := range xs {
+			inv[i] = 1 / x
+		}
+		got := GeoMean(inv)
+		want := 1 / GeoMean(xs)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("seed %d: GeoMean(1/x) = %v, 1/GeoMean(x) = %v (xs=%v)", seed, got, want, xs)
+		}
+	}
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	// geomean(k*x) == k*geomean(x).
+	for seed := uint64(1); seed <= 20; seed++ {
+		xs := randomPositives(seed, 6)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 2.5 * x
+		}
+		got, want := GeoMean(scaled), 2.5*GeoMean(xs)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("seed %d: GeoMean(k*x) = %v, k*GeoMean(x) = %v", seed, got, want)
+		}
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		xs := randomPositives(seed, 8)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		g := GeoMean(xs)
+		if g < lo || g > hi {
+			t.Fatalf("seed %d: GeoMean %v outside [%v, %v]", seed, g, lo, hi)
+		}
+		// And never above the arithmetic mean (AM-GM inequality).
+		if m := Mean(xs); g > m*(1+1e-12) {
+			t.Fatalf("seed %d: GeoMean %v > Mean %v", seed, g, m)
+		}
+	}
+}
+
+func TestMeanProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		xs := randomPositives(seed, 8)
+		// Mean is translation-equivariant: mean(x + c) = mean(x) + c.
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 3
+		}
+		if got, want := Mean(shifted), Mean(xs)+3; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("seed %d: Mean(x+3) = %v, want %v", seed, got, want)
+		}
+	}
+	if Mean(nil) != 0 || Mean([]float64{}) != 0 {
+		t.Error("Mean of empty input must be 0")
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{}) != 0 {
+		t.Error("GeoMean of empty input must be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean(-1) did not panic")
+		}
+	}()
+	GeoMean([]float64{1, -1})
+}
+
+// tableColumns splits a rendered line on runs of 2+ spaces, the column
+// separator Table.String uses.
+func tableLines(t Table) []string {
+	return strings.Split(strings.TrimRight(t.String(), "\n"), "\n")
+}
+
+func TestTableRaggedRowsStayAligned(t *testing.T) {
+	tbl := Table{Header: []string{"Bench", "A"}}
+	tbl.AddRow("Gauss", "1.26x", "extra-wide-cell", "x")
+	tbl.AddRow("LU")
+	tbl.AddRow("Histo", "1.09x", "y", "zz")
+	out := tbl.String()
+
+	// Every cell of every row must survive rendering — the old renderer
+	// printed cells past the header unpadded (and sized the separator as
+	// if they did not exist).
+	for _, cell := range []string{"extra-wide-cell", "zz", "1.26x", "1.09x", "LU"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("rendered table dropped cell %q:\n%s", cell, out)
+		}
+	}
+
+	// Columns shared by long rows must align: the third column of both
+	// 4-cell rows starts at the same offset.
+	lines := tableLines(tbl)
+	var gauss, histo string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Gauss") {
+			gauss = l
+		}
+		if strings.HasPrefix(l, "Histo") {
+			histo = l
+		}
+	}
+	gi := strings.Index(gauss, "extra-wide-cell") + len("extra-wide-cell")
+	hi := strings.Index(histo, "y") + len("y")
+	if gi != hi {
+		t.Errorf("third column misaligned: %d vs %d\n%s", gi, hi, out)
+	}
+}
+
+func TestTableShortRowsRender(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"A", "B", "C"}}
+	tbl.AddRow("only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row dropped:\n%s", out)
+	}
+	// Header keeps all three columns.
+	for _, h := range []string{"A", "B", "C"} {
+		if !strings.Contains(out, h) {
+			t.Errorf("header lost %q:\n%s", h, out)
+		}
+	}
+}
