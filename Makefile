@@ -1,14 +1,18 @@
 # TD-NUCA reproduction — build / test / CI entry points.
 #
-#   make ci       everything a PR must pass: build, vet, tests, race
-#   make race     race detector over the concurrent harness and the
-#                 packages its worker pool drives
-#   make golden   refresh the golden suite digests after an intentional
-#                 behavioral change
+#   make ci          everything a PR must pass: build, vet, tests, race,
+#                    one-iteration benchmark smoke
+#   make race        race detector over the concurrent harness and the
+#                    packages its worker pool drives
+#   make bench       measure the simulator-core benchmarks and write the
+#                    machine-readable BENCH_simcore.json
+#   make bench-quick one iteration of every benchmark (compile + smoke)
+#   make golden      refresh the golden suite digests after an intentional
+#                    behavioral change
 
 GO ?= go
 
-.PHONY: build test race vet bench golden ci
+.PHONY: build test race vet bench bench-quick golden ci
 
 build:
 	$(GO) build ./...
@@ -25,10 +29,20 @@ race:
 vet:
 	$(GO) vet ./...
 
+# The tracked simulator-core numbers: ns and allocs per simulated
+# access (hit and eviction-churn variants) plus the full experiment
+# suite's wall time, written as BENCH_simcore.json next to the frozen
+# pre-optimization baseline (schema in EXPERIMENTS.md).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench 'BenchmarkMemoryAccess$$|BenchmarkMemoryAccessEvict$$|BenchmarkFullSuite$$' \
+		-benchmem -timeout 1800s . | $(GO) run ./cmd/tdnuca-bench -o BENCH_simcore.json
+
+# One iteration of every benchmark: proves they still compile and run,
+# cheap enough for CI.
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 golden:
 	$(GO) test ./internal/harness -run Golden -update
 
-ci: build vet test race
+ci: build vet test race bench-quick

@@ -307,6 +307,34 @@ func BenchmarkMemoryAccess(b *testing.B) {
 	<-done
 }
 
+// BenchmarkMemoryAccessEvict measures the hot path under LLC eviction
+// pressure: the streamed region is 4x the total LLC capacity, so every
+// access misses the L1, most miss the LLC, and each fill displaces a
+// victim (directory entry churn, back-invalidations, DRAM writebacks).
+func BenchmarkMemoryAccessEvict(b *testing.B) {
+	sys, err := tdnuca.NewSystem(tdnuca.SystemConfig{Policy: tdnuca.SNUCA})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const region = 4 << 20 // 4x the scaled machine's 1MB LLC
+	done := make(chan struct{})
+	sys.Spawn("driver", []tdnuca.Dep{{Range: tdnuca.Region(0, region), Mode: tdnuca.InOut}}, func(e *tdnuca.Exec) {
+		// Prime the region so page-table and directory growth is off the
+		// measured loop.
+		for a := uint64(0); a < region; a += 64 {
+			e.Read(tdnuca.Addr(a))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Read(tdnuca.Addr(uint64(i) * 64 % region))
+		}
+		b.StopTimer()
+		close(done)
+	})
+	sys.Wait()
+	<-done
+}
+
 // BenchmarkTaskSpawn measures TDG insertion (dependency analysis).
 func BenchmarkTaskSpawn(b *testing.B) {
 	sys, err := tdnuca.NewSystem(tdnuca.SystemConfig{Policy: tdnuca.SNUCA})

@@ -26,7 +26,26 @@ import (
 	"time"
 
 	"tdnuca"
+	"tdnuca/internal/profiling"
 )
+
+// prof is the active -cpuprofile/-memprofile session; exit routes every
+// termination path through Stop so profiles are flushed before os.Exit.
+var prof *profiling.Session
+
+func stopProf() {
+	if prof != nil {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "tdnuca-experiments:", err)
+		}
+		prof = nil
+	}
+}
+
+func exit(code int) {
+	stopProf()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -37,8 +56,18 @@ func main() {
 		check   = flag.Bool("check", false, "enable the functional coherence checker (slower)")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU, 1 = sequential)")
 		digest  = flag.Bool("digest", false, "print the suite's behavioral digest (for regression comparison)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	var perr error
+	prof, perr = profiling.Start(*cpuprof, *memprof)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-experiments:", perr)
+		exit(1)
+	}
+	defer stopProf()
 
 	cfg := tdnuca.DefaultExperimentConfig()
 	cfg.Factor = tdnuca.WorkloadFactor(*factor)
@@ -47,7 +76,7 @@ func main() {
 
 	if !*all && *fig == "" && !*digest {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	want := func(name string) bool { return *all || strings.EqualFold(*fig, name) }
@@ -140,6 +169,6 @@ func reportViolations(s tdnuca.Suite) {
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdnuca-experiments:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -17,7 +17,26 @@ import (
 	"strings"
 
 	"tdnuca"
+	"tdnuca/internal/profiling"
 )
+
+// prof is the active -cpuprofile/-memprofile session; exit routes every
+// termination path through Stop so profiles are flushed before os.Exit.
+var prof *profiling.Session
+
+func stopProf() {
+	if prof != nil {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "tdnuca-sim:", err)
+		}
+		prof = nil
+	}
+}
+
+func exit(code int) {
+	stopProf()
+	os.Exit(code)
+}
 
 var policies = map[string]tdnuca.PolicyKind{
 	"snuca":         tdnuca.SNUCA,
@@ -41,8 +60,18 @@ func main() {
 		check   = flag.Bool("check", false, "enable the functional coherence checker")
 		workers = flag.Int("workers", 0, "parallel workers for -policy all (0 = one per CPU)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	var perr error
+	prof, perr = profiling.Start(*cpuprof, *memprof)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-sim:", perr)
+		exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println(strings.Join(tdnuca.Benchmarks(), "\n"))
@@ -60,13 +89,13 @@ func main() {
 	kind, ok := policies[strings.ToLower(*pol)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tdnuca-sim: unknown policy %q\n", *pol)
-		os.Exit(2)
+		exit(2)
 	}
 
 	r, err := tdnuca.RunBenchmark(*bench, kind, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdnuca-sim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	m := r.Metrics
@@ -104,7 +133,7 @@ func main() {
 		fmt.Printf("  COHERENCE VIOLATION %s\n", v)
 	}
 	if len(r.Violations) > 0 {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -118,7 +147,7 @@ func comparePolicies(bench string, cfg tdnuca.ExperimentConfig, workers int) {
 	results, err := tdnuca.RunExperiments(jobs, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdnuca-sim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	base := results[0] // S-NUCA
 	tbl := tdnuca.Table{
@@ -142,6 +171,6 @@ func comparePolicies(bench string, cfg tdnuca.ExperimentConfig, workers int) {
 	}
 	fmt.Println(tbl)
 	if violations > 0 {
-		os.Exit(1)
+		exit(1)
 	}
 }

@@ -133,3 +133,15 @@ func (r Range) NumPages(pageBytes int) int { return r.NumBlocks(pageBytes) }
 func (r Range) String() string {
 	return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End()))
 }
+
+// Log2 returns floor(log2(v)) for positive v, and 0 for v <= 1. The
+// geometry helpers use it on power-of-two quantities (set counts, block
+// and page sizes), where it is the exact bit width of the offset.
+func Log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

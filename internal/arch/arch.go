@@ -5,7 +5,11 @@
 // (quadrants) used by TD-NUCA's cluster-replicated mapping.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+)
 
 // Config carries every architectural parameter of the simulated machine.
 // The zero value is not usable; construct one with DefaultConfig (the
@@ -200,10 +204,10 @@ func (c *Config) Validate() error {
 }
 
 // BlockOffsetBits returns log2(BlockBytes).
-func (c *Config) BlockOffsetBits() uint { return log2(c.BlockBytes) }
+func (c *Config) BlockOffsetBits() uint { return amath.Log2(c.BlockBytes) }
 
 // PageOffsetBits returns log2(PageBytes).
-func (c *Config) PageOffsetBits() uint { return log2(c.PageBytes) }
+func (c *Config) PageOffsetBits() uint { return amath.Log2(c.PageBytes) }
 
 // L1Sets returns the number of sets in each L1 cache.
 func (c *Config) L1Sets() int { return c.L1Bytes / (c.L1Ways * c.BlockBytes) }
@@ -221,15 +225,6 @@ func (c *Config) NumClusters() int {
 
 // BanksPerCluster returns the number of LLC banks in each cluster.
 func (c *Config) BanksPerCluster() int { return c.ClusterWidth * c.ClusterHeight }
-
-func log2(v int) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
-}
 
 // TileX returns the mesh column of a tile.
 func (c *Config) TileX(tile int) int { return tile % c.MeshWidth }

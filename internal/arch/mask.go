@@ -66,6 +66,14 @@ func (m Mask) Bits() []int {
 	return out
 }
 
+// EachBit calls fn with the index of every set bit in ascending order.
+// It is the allocation-free form of Bits for the coherence hot paths.
+func (m Mask) EachBit(fn func(i int)) {
+	for v := uint64(m); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+}
+
 // NthBit returns the index of the n-th (0-based) set bit in ascending
 // order, or -1 if n >= Count(). Cluster interleaving uses this to pick the
 // destination bank from the low block-address bits.

@@ -81,7 +81,19 @@ type Cache struct {
 	indexHash  bool     // XOR-folded set index (LLC banks)
 	sets       []line   // numSets * ways, row-major
 	plru       []uint32 // tree pseudo-LRU bits per set
+	mru        []uint8  // most-recently-touched way per set (lookup hint)
 	resident   int
+
+	// Miss cursor: after Access misses, the cursor remembers (set, tag)
+	// so the Insert that services the miss skips the redundant
+	// already-resident scan. The cursor asserts only that the tag is
+	// absent from the set; since Insert is the sole operation that makes
+	// a tag resident and every Insert clears the cursor, the assertion
+	// cannot go stale through intervening SetState/Invalidate/Flush
+	// traffic on the same cache.
+	curSet   int
+	curTag   uint64
+	curValid bool
 
 	stats Stats
 }
@@ -93,6 +105,9 @@ type Cache struct {
 func New(capacityBytes, ways, blockBytes int) (*Cache, error) {
 	if ways <= 0 || ways&(ways-1) != 0 {
 		return nil, fmt.Errorf("cache: ways (%d) must be a positive power of two", ways)
+	}
+	if ways > 256 {
+		return nil, fmt.Errorf("cache: ways (%d) exceeds the 256-way MRU-hint limit", ways)
 	}
 	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
 		return nil, fmt.Errorf("cache: block size (%d) must be a positive power of two", blockBytes)
@@ -110,9 +125,10 @@ func New(capacityBytes, ways, blockBytes int) (*Cache, error) {
 		numSets:    numSets,
 		ways:       ways,
 		setMask:    uint64(numSets - 1),
-		setBits:    log2(numSets),
+		setBits:    amath.Log2(numSets),
 		sets:       make([]line, numSets*ways),
 		plru:       make([]uint32, numSets),
+		mru:        make([]uint8, numSets),
 	}, nil
 }
 
@@ -156,17 +172,16 @@ func (c *Cache) index(addr amath.Addr) (set int, tag uint64) {
 	return int(h & c.setMask), block
 }
 
-func log2(v int) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
-}
-
 func (c *Cache) find(set int, tag uint64) int {
 	base := set * c.ways
+	// MRU-way hint: repeated accesses to the same block (the
+	// read-modify-write pattern of streaming task bodies) hit the way
+	// touched last, so probe it before scanning the whole set.
+	if w := int(c.mru[set]); w < c.ways {
+		if l := &c.sets[base+w]; l.state.IsValid() && l.tag == tag {
+			return w
+		}
+	}
 	for w := 0; w < c.ways; w++ {
 		if l := &c.sets[base+w]; l.state.IsValid() && l.tag == tag {
 			return w
@@ -187,7 +202,9 @@ func (c *Cache) Probe(addr amath.Addr) State {
 
 // Access performs a demand lookup: on a hit it promotes the line in the
 // pseudo-LRU tree and returns its state; on a miss it returns Invalid.
-// Hit/miss statistics are updated.
+// Hit/miss statistics are updated. A miss arms the miss cursor so the
+// Insert that services it skips its redundant residency scan — together
+// the Access→Insert sequence of a miss+fill scans the set's ways once.
 func (c *Cache) Access(addr amath.Addr) State {
 	set, tag := c.index(addr)
 	if w := c.find(set, tag); w >= 0 {
@@ -196,6 +213,7 @@ func (c *Cache) Access(addr amath.Addr) State {
 		return c.sets[set*c.ways+w].state
 	}
 	c.stats.Misses++
+	c.curSet, c.curTag, c.curValid = set, tag, true
 	return Invalid
 }
 
@@ -216,12 +234,25 @@ func (c *Cache) Insert(addr amath.Addr, st State) Victim {
 	}
 	set, tag := c.index(addr)
 	base := set * c.ways
-	if w := c.find(set, tag); w >= 0 {
-		c.sets[base+w].state = st
-		c.touch(set, w)
-		return Victim{}
+	// The miss cursor proves the tag absent when this Insert services the
+	// Access that just missed; only then can the residency scan be skipped.
+	skipFind := c.curValid && c.curSet == set && c.curTag == tag
+	c.curValid = false
+	if !skipFind {
+		if w := c.find(set, tag); w >= 0 {
+			c.sets[base+w].state = st
+			c.touch(set, w)
+			return Victim{}
+		}
 	}
-	// Prefer an empty way.
+	return c.fillWay(set, tag, st)
+}
+
+// fillWay is the combined lookup-or-victim step: one pass over the set
+// picks the first empty way, falling back to the pseudo-LRU victim when
+// the set is full. The caller guarantees the tag is not resident.
+func (c *Cache) fillWay(set int, tag uint64, st State) Victim {
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		if !c.sets[base+w].state.IsValid() {
 			c.sets[base+w] = line{tag: tag, state: st}
@@ -237,13 +268,13 @@ func (c *Cache) Insert(addr amath.Addr, st State) Victim {
 	if victim.state == Modified {
 		c.stats.Writebacks++
 	}
-	vAddr := c.blockAddr(set, victim.tag)
+	vAddr := c.blockAddr(victim.tag)
 	c.sets[base+w] = line{tag: tag, state: st}
 	c.touch(set, w)
 	return Victim{Addr: vAddr, State: victim.state, Occurred: true}
 }
 
-func (c *Cache) blockAddr(set int, tag uint64) amath.Addr {
+func (c *Cache) blockAddr(tag uint64) amath.Addr {
 	return amath.Addr(tag * uint64(c.blockBytes))
 }
 
@@ -310,7 +341,7 @@ func (c *Cache) EachResident(fn func(block amath.Addr, st State)) {
 	for set := 0; set < c.numSets; set++ {
 		for w := 0; w < c.ways; w++ {
 			if l := c.sets[set*c.ways+w]; l.state.IsValid() {
-				fn(c.blockAddr(set, l.tag), l.state)
+				fn(c.blockAddr(l.tag), l.state)
 			}
 		}
 	}
@@ -318,7 +349,9 @@ func (c *Cache) EachResident(fn func(block amath.Addr, st State)) {
 
 // touch updates the pseudo-LRU tree so the accessed way becomes most
 // recently used: every tree node on the path is pointed away from it.
+// The way is also recorded as the set's MRU lookup hint.
 func (c *Cache) touch(set, way int) {
+	c.mru[set] = uint8(way)
 	if c.ways == 1 {
 		return
 	}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -345,4 +346,28 @@ func TestInsertInvalidPanics(t *testing.T) {
 		}
 	}()
 	c.Insert(0, Invalid)
+}
+
+// TestPLRUVictimProperty drives a long pseudo-random touch sequence
+// through the replacement state and checks the tree-PLRU contract on
+// every step: the victim is always a valid way index, and the way just
+// touched is never the immediate next victim (the defining property
+// pseudo-LRU keeps of true LRU).
+func TestPLRUVictimProperty(t *testing.T) {
+	for _, ways := range []int{2, 4, 8, 16} {
+		c := mk(t, 4*ways*64, ways) // 4 sets
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 20000; i++ {
+			set := rng.Intn(c.Sets())
+			w := rng.Intn(ways)
+			c.touch(set, w)
+			v := c.plruVictim(set)
+			if v < 0 || v >= ways {
+				t.Fatalf("ways=%d: victim %d out of range [0,%d)", ways, v, ways)
+			}
+			if v == w {
+				t.Fatalf("ways=%d set=%d: way %d touched and immediately chosen as victim", ways, set, w)
+			}
+		}
+	}
 }

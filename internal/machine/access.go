@@ -29,7 +29,7 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 	if !m.TLBs[core].Access(uint64(va) / uint64(m.Cfg.PageBytes)) {
 		lat += sim.Cycles(m.Cfg.PageWalkLatency)
 	}
-	pa := m.procAS(core).Translate(va).AlignDown(m.Cfg.BlockBytes)
+	pa := m.procAS(core).TranslateMRU(&m.trans[core], va).AlignDown(m.Cfg.BlockBytes)
 
 	lat += sim.Cycles(m.Cfg.L1Latency)
 	switch st := m.L1s[core].Access(pa); st {
@@ -107,7 +107,7 @@ func (m *Machine) policyLookup() sim.Cycles {
 // memory controller, skipping the LLC (Sec. III-B3, all-zero BankMask).
 func (m *Machine) bypassFill(core int, pa amath.Addr, now sim.Cycles) sim.Cycles {
 	m.met.BypassAccesses++
-	mc := m.Cfg.NearestMemCtrl(core)
+	mc := m.nearestMC[core]
 	_, reqLat := m.Net.SendCtrlAt(core, mc, now)
 	lat := reqLat + sim.Cycles(m.Cfg.DRAMLatency)
 	m.met.DRAMReads++
@@ -129,11 +129,7 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 	block := m.blockNum(pa)
 	if b.Cache.Access(pa).IsValid() {
 		m.met.LLCHits++
-		e := b.dir[block]
-		if e == nil {
-			e = &dirEntry{owner: -1}
-			b.dir[block] = e
-		}
+		e := b.dir.ref(block)
 		if write {
 			lat += m.invalidateCopies(bank, pa, e, core, now+lat)
 			e.sharers = 0
@@ -167,15 +163,16 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 		return lat + respLat, st
 	}
 
-	// LLC miss: fetch the block from memory into the bank.
+	// LLC miss: fetch the block from memory into the bank. The directory
+	// entry is (re)initialized only after the fetch: fillBank's victim
+	// handling may delete other entries, which moves table slots.
 	m.met.LLCMisses++
 	lat += m.memFetchToBank(bank, pa, now+lat)
 	st := cache.Exclusive
-	e := &dirEntry{owner: core}
 	if write {
 		st = cache.Modified
 	}
-	b.dir[block] = e
+	*b.dir.ref(block) = dirEntry{owner: core}
 	m.verifyServeFromBank(core, bank, pa)
 	_, respLat := m.Net.SendDataAt(bank, core, now+lat)
 	return lat + respLat, st
@@ -203,19 +200,17 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 
 	b := m.Banks[bank]
 	block := m.blockNum(pa)
-	e := b.dir[block]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		b.dir[block] = e
-	}
 	if b.Cache.Probe(pa).IsValid() {
 		m.met.LLCHits++
 	} else {
 		// Inclusion was broken by a placement change; treat as a miss and
-		// re-fetch the block into the bank.
+		// re-fetch the block into the bank. The directory reference is
+		// taken only after the fetch: fillBank's victim handling may
+		// delete other entries, which moves table slots.
 		m.met.LLCMisses++
 		lat += m.memFetchToBank(bank, pa, now+lat)
 	}
+	e := b.dir.ref(block)
 	lat += m.invalidateCopies(bank, pa, e, core, now+lat)
 	e.sharers = 0
 	e.owner = core
@@ -261,7 +256,7 @@ func (m *Machine) writebackFromL1(core int, pa amath.Addr, now sim.Cycles) {
 	m.policyLookup() // RRT consulted on writebacks; latency is off the critical path
 	pl, _ := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], PA: pa, Write: true, Writeback: true})
 	if pl.Kind == Bypass {
-		mc := m.Cfg.NearestMemCtrl(core)
+		mc := m.nearestMC[core]
 		m.Net.SendDataAt(core, mc, now)
 		m.met.DRAMWrites++
 		m.verifyWritebackToMemory(core, pa)
@@ -279,10 +274,12 @@ func (m *Machine) writebackFromL1(core int, pa amath.Addr, now sim.Cycles) {
 		// Placement changed since the fill; adopt the block.
 		m.fillBank(bank, pa, cache.Modified)
 	}
-	if e := b.dir[block]; e != nil && e.owner == core {
-		e.owner = -1
-	} else if b.dir[block] == nil {
-		b.dir[block] = &dirEntry{owner: -1}
+	if e := b.dir.get(block); e != nil {
+		if e.owner == core {
+			e.owner = -1
+		}
+	} else {
+		b.dir.ref(block) // adopt with no owner and no sharers
 	}
 	m.verifyWritebackToBank(core, bank, pa)
 	m.verifyL1Drop(core, pa)

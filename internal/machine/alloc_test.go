@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+)
+
+// benchMachine builds a ScaledConfig machine with the coherence checker
+// off — the configuration under which the access hot paths must stay
+// allocation-free (the checker's tracking maps necessarily allocate).
+func benchMachine(tb testing.TB) *Machine {
+	tb.Helper()
+	cfg := arch.ScaledConfig()
+	m := MustNew(&cfg, 0, 1)
+	m.SetPolicy(&staticPolicy{})
+	return m
+}
+
+// TestL1HitPathAllocFree pins the hot-path property: a warm L1 hit
+// (read or silent-upgrade-free write on a Modified line) performs zero
+// heap allocations when CheckInvariants is off.
+func TestL1HitPathAllocFree(t *testing.T) {
+	m := benchMachine(t)
+	const va = amath.Addr(0x10000)
+	m.Access(0, va, true) // warm: TLB, translation memo, L1 (Modified), LLC, directory
+
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Access(0, va, false)
+	}); n != 0 {
+		t.Errorf("L1 read hit allocates %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Access(0, va, true)
+	}); n != 0 {
+		t.Errorf("L1 write hit allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestLLCHitPathAllocFree sweeps a working set larger than the scaled
+// 8 KB L1 but far smaller than the 1 MB LLC, so after warmup every
+// access is an L1 miss served by bankFill's LLC-hit path (plus clean
+// silent L1 evictions). In steady state that whole path — TLB,
+// translation, placement, NoC accounting, bank lookup and the
+// open-addressed directory — must not allocate.
+func TestLLCHitPathAllocFree(t *testing.T) {
+	m := benchMachine(t)
+	const region = 64 << 10 // 8x the scaled L1, 1/16 of the LLC
+	sweep := func() {
+		for off := 0; off < region; off += 64 {
+			m.Access(0, amath.Addr(off), false)
+		}
+	}
+	sweep() // cold: fills the LLC and grows the directory tables
+	sweep() // settle TLB and replacement state
+
+	if n := testing.AllocsPerRun(10, sweep); n != 0 {
+		t.Errorf("LLC hit sweep allocates %v allocs/run, want 0", n)
+	}
+}

@@ -47,9 +47,7 @@ func (m *Machine) invalidateCopies(bank int, pa amath.Addr, e *dirEntry, except 
 	if e.owner >= 0 {
 		invalidateOne(e.owner)
 	}
-	for _, s := range e.sharers.Bits() {
-		invalidateOne(s)
-	}
+	e.sharers.EachBit(invalidateOne)
 	return worst
 }
 
@@ -90,7 +88,7 @@ func (m *Machine) fetchFromOwner(bank int, pa amath.Addr, e *dirEntry, now sim.C
 // miss): control to the nearest memory controller, the DRAM access, and
 // the data response, then the fill with inclusive victim handling.
 func (m *Machine) memFetchToBank(bank int, pa amath.Addr, now sim.Cycles) sim.Cycles {
-	mc := m.Cfg.NearestMemCtrl(bank)
+	mc := m.nearestMC[bank]
 	_, reqLat := m.Net.SendCtrlAt(bank, mc, now)
 	lat := reqLat + sim.Cycles(m.Cfg.DRAMLatency)
 	m.met.DRAMReads++
@@ -115,7 +113,7 @@ func (m *Machine) fillBank(bank int, pa amath.Addr, st cache.State) {
 	m.met.LLCEvictions++
 	block := v.Addr.Block(m.Cfg.BlockBytes)
 	dirty := v.State == cache.Modified
-	if e := b.dir[block]; e != nil {
+	if e := b.dir.get(block); e != nil {
 		// Back-invalidate all L1 copies of the victim.
 		backInv := func(core int) {
 			m.Net.SendCtrl(bank, core)
@@ -139,13 +137,11 @@ func (m *Machine) fillBank(bank int, pa amath.Addr, st cache.State) {
 		if e.owner >= 0 {
 			backInv(e.owner)
 		}
-		for _, s := range e.sharers.Bits() {
-			backInv(s)
-		}
-		delete(b.dir, block)
+		e.sharers.EachBit(backInv)
+		b.dir.del(block)
 	}
 	if dirty {
-		mc := m.Cfg.NearestMemCtrl(bank)
+		mc := m.nearestMC[bank]
 		m.Net.SendData(bank, mc)
 		m.met.DRAMWrites++
 		m.met.LLCWritebacksOut++

@@ -61,7 +61,7 @@ func (m *Machine) flushWriteback(core int, pa amath.Addr) sim.Cycles {
 	m.policyLookup()
 	pl, _ := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], PA: pa, Write: true, Writeback: true})
 	if pl.Kind == Bypass {
-		mc := m.Cfg.NearestMemCtrl(core)
+		mc := m.nearestMC[core]
 		m.Net.SendData(core, mc)
 		m.met.DRAMWrites++
 		m.verifyWritebackToMemory(core, pa)
@@ -78,13 +78,13 @@ func (m *Machine) flushWriteback(core int, pa amath.Addr) sim.Cycles {
 		m.fillBank(bank, pa, cache.Modified)
 	}
 	block := m.blockNum(pa)
-	if e := b.dir[block]; e != nil {
+	if e := b.dir.get(block); e != nil {
 		if e.owner == core {
 			e.owner = -1
 		}
 		e.sharers = e.sharers.Clear(core)
 	} else {
-		b.dir[block] = &dirEntry{owner: -1}
+		b.dir.ref(block) // adopt with no owner and no sharers
 	}
 	m.verifyWritebackToBank(core, bank, pa)
 	m.verifyL1Drop(core, pa)
@@ -111,7 +111,7 @@ func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
 	for _, v := range victims {
 		block := m.blockNum(v.addr)
 		dirty := v.dirty
-		if e := b.dir[block]; e != nil {
+		if e := b.dir.get(block); e != nil {
 			inv := func(core int) {
 				m.Net.SendCtrl(bank, core)
 				lat += flushIssueCycles
@@ -135,13 +135,11 @@ func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
 			if e.owner >= 0 {
 				inv(e.owner)
 			}
-			for _, s := range e.sharers.Bits() {
-				inv(s)
-			}
-			delete(b.dir, block)
+			e.sharers.EachBit(inv)
+			b.dir.del(block)
 		}
 		if dirty {
-			mc := m.Cfg.NearestMemCtrl(bank)
+			mc := m.nearestMC[bank]
 			m.Net.SendData(bank, mc)
 			lat += flushIssueCycles
 			m.met.DRAMWrites++

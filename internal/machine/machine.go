@@ -95,7 +95,7 @@ type dirEntry struct {
 // Bank is one LLC bank plus its co-located directory slice.
 type Bank struct {
 	Cache *cache.Cache
-	dir   map[uint64]*dirEntry // block number -> directory state
+	dir   dirTable // block number -> directory state
 }
 
 // Metrics aggregates everything a run measures. All counters are raw
@@ -165,6 +165,13 @@ type Machine struct {
 	procs    []*Process
 	coreProc []int // process currently bound to each core
 
+	// Hot-path accelerators. trans memoizes each core's last
+	// virtual-to-physical page translation (invalidated on BindCore);
+	// nearestMC precomputes Cfg.NearestMemCtrl per tile. Neither changes
+	// any simulated behavior.
+	trans     []vm.TransCache
+	nearestMC []int
+
 	policy   Policy
 	writeObs WriteObserver // non-nil when policy implements WriteObserver
 	met      Metrics
@@ -185,11 +192,16 @@ func New(cfg *arch.Config, fragEvery int, seed uint64) (*Machine, error) {
 	}
 	alloc := vm.NewPhysAllocator(fragEvery, seed)
 	m := &Machine{
-		Cfg:      cfg,
-		AS:       vm.NewAddressSpaceWith(cfg.PageBytes, alloc),
-		Net:      noc.New(cfg),
-		alloc:    alloc,
-		coreProc: make([]int, cfg.NumCores),
+		Cfg:       cfg,
+		AS:        vm.NewAddressSpaceWith(cfg.PageBytes, alloc),
+		Net:       noc.New(cfg),
+		alloc:     alloc,
+		coreProc:  make([]int, cfg.NumCores),
+		trans:     make([]vm.TransCache, cfg.NumCores),
+		nearestMC: make([]int, cfg.NumCores),
+	}
+	for i := range m.nearestMC {
+		m.nearestMC[i] = cfg.NearestMemCtrl(i)
 	}
 	m.procs = []*Process{{ID: 0, AS: m.AS}}
 	if cfg.NoCContention {
@@ -210,7 +222,7 @@ func New(cfg *arch.Config, fragEvery int, seed uint64) (*Machine, error) {
 		// block bits are the bank-selection bits and would collapse the
 		// usable sets under either interleaved or single-bank placement.
 		bc.EnableIndexHash()
-		m.Banks = append(m.Banks, &Bank{Cache: bc, dir: make(map[uint64]*dirEntry)})
+		m.Banks = append(m.Banks, &Bank{Cache: bc})
 	}
 	if cfg.CheckInvariants {
 		m.ver = newVerifier(cfg)

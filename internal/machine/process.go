@@ -52,6 +52,7 @@ func (m *Machine) BindCore(core, pid int) {
 	}
 	if m.coreProc[core] != pid {
 		m.TLBs[core].Flush()
+		m.trans[core].Invalidate() // the memo belongs to the old address space
 		m.coreProc[core] = pid
 	}
 }

@@ -121,6 +121,35 @@ func (as *AddressSpace) Translate(va amath.Addr) amath.Addr {
 	return amath.Addr(pp*uint64(as.pageBytes) + off)
 }
 
+// TransCache is a one-entry MRU translation memo: the last virtual page
+// translated through it and the physical page backing it. Each simulated
+// core holds one so that the dominant streaming pattern — consecutive
+// block accesses walking a page — performs one page-table map lookup per
+// page instead of one per block. Page mappings are immutable once
+// established (first-touch allocation, never remapped), so a memo can
+// only go stale by being used against a *different* address space; the
+// holder must Invalidate it on an address-space switch.
+type TransCache struct {
+	vp, pp uint64
+	valid  bool
+}
+
+// Invalidate empties the memo (an address-space switch on the core).
+func (tc *TransCache) Invalidate() { tc.valid = false }
+
+// TranslateMRU is the page-grain batch entry point of Translate: it maps
+// a virtual address to its physical address through the memo, touching
+// the page-table map (and allocating on first touch) only when the
+// access leaves the memoized page. Results are identical to Translate.
+func (as *AddressSpace) TranslateMRU(tc *TransCache, va amath.Addr) amath.Addr {
+	pb := uint64(as.pageBytes)
+	vp := uint64(va) / pb
+	if !tc.valid || tc.vp != vp {
+		tc.vp, tc.pp, tc.valid = vp, as.PhysPage(vp), true
+	}
+	return amath.Addr(tc.pp*pb + uint64(va)%pb)
+}
+
 // Touch pre-faults every page of a virtual range, modelling initialization
 // code writing the data before the parallel phase.
 func (as *AddressSpace) Touch(r amath.Range) {
@@ -136,6 +165,15 @@ type TLB struct {
 	entries  map[uint64]int // virtual page -> last-use stamp
 	stamp    int
 
+	// MRU fast path: the most recently accessed page with its latest
+	// stamp. The page is always present in entries as well; only its
+	// stamp is shadowed here and written back lazily (syncMRU), so
+	// repeated accesses to one page — 64 consecutive block accesses per
+	// 4KB page in the streaming common case — cost no map operations.
+	mruPage  uint64
+	mruStamp int
+	mruValid bool
+
 	hits   uint64
 	misses uint64
 }
@@ -145,13 +183,29 @@ func NewTLB(entries int) *TLB {
 	return &TLB{capacity: entries, entries: make(map[uint64]int, entries)}
 }
 
+// syncMRU writes the shadowed MRU stamp back into the map so that LRU
+// victim scans observe up-to-date recency. Only the stamp is shadowed —
+// residency (hit/miss, Len, capacity) is never affected by the memo.
+func (t *TLB) syncMRU() {
+	if t.mruValid {
+		t.entries[t.mruPage] = t.mruStamp
+		t.mruValid = false
+	}
+}
+
 // Access looks up a virtual page, returning whether it hit. On a miss the
 // translation is filled, evicting the least recently used entry if full.
 func (t *TLB) Access(virtPage uint64) bool {
 	t.stamp++
-	if _, ok := t.entries[virtPage]; ok {
-		t.entries[virtPage] = t.stamp
+	if t.mruValid && virtPage == t.mruPage {
+		t.mruStamp = t.stamp
 		t.hits++
+		return true
+	}
+	t.syncMRU()
+	if _, ok := t.entries[virtPage]; ok {
+		t.hits++
+		t.mruPage, t.mruStamp, t.mruValid = virtPage, t.stamp, true
 		return true
 	}
 	t.misses++
@@ -165,6 +219,7 @@ func (t *TLB) Access(virtPage uint64) bool {
 		delete(t.entries, victim)
 	}
 	t.entries[virtPage] = t.stamp
+	t.mruPage, t.mruStamp, t.mruValid = virtPage, t.stamp, true
 	return false
 }
 
@@ -172,12 +227,16 @@ func (t *TLB) Access(virtPage uint64) bool {
 // a core (the simulated machine has untagged TLBs).
 func (t *TLB) Flush() {
 	t.entries = make(map[uint64]int, t.capacity)
+	t.mruValid = false
 }
 
 // Invalidate removes a virtual page from the TLB (used by R-NUCA page
 // reclassification shootdowns). It reports whether the page was present.
 func (t *TLB) Invalidate(virtPage uint64) bool {
 	if _, ok := t.entries[virtPage]; ok {
+		if t.mruValid && t.mruPage == virtPage {
+			t.mruValid = false
+		}
 		delete(t.entries, virtPage)
 		return true
 	}
