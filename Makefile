@@ -1,7 +1,10 @@
 # TD-NUCA reproduction — build / test / CI entry points.
 #
-#   make ci          everything a PR must pass: build, vet, tests, race,
-#                    one-iteration benchmark smoke
+#   make ci          everything a PR must pass: build, vet, lint, tests,
+#                    race, one-iteration benchmark smoke
+#   make lint        go vet + tdnuca-lint, the repo's own static-analysis
+#                    suite (determinism / hot-path allocation / units;
+#                    DESIGN.md §9)
 #   make race        race detector over the concurrent harness and the
 #                    packages its worker pool drives
 #   make bench       measure the simulator-core benchmarks and write the
@@ -12,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick golden ci
+.PHONY: build test race vet lint bench bench-quick golden ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +31,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzer: determinism, hot-path allocation and
+# config/units invariants (DESIGN.md §9). Exits non-zero on findings;
+# add -json for the machine-readable report (schema in EXPERIMENTS.md).
+lint: vet
+	$(GO) run ./cmd/tdnuca-lint
 
 # The tracked simulator-core numbers: ns and allocs per simulated
 # access (hit and eviction-churn variants) plus the full experiment
@@ -45,4 +54,4 @@ bench-quick:
 golden:
 	$(GO) test ./internal/harness -run Golden -update
 
-ci: build vet test race bench-quick
+ci: build lint test race bench-quick

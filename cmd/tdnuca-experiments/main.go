@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -157,9 +158,20 @@ func main() {
 }
 
 func reportViolations(s tdnuca.Suite) {
-	for bench, perPolicy := range s {
-		for kind, r := range perPolicy {
-			for _, v := range r.Violations {
+	benches := make([]string, 0, len(s))
+	for bench := range s {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		perPolicy := s[bench]
+		kinds := make([]string, 0, len(perPolicy))
+		for kind := range perPolicy {
+			kinds = append(kinds, string(kind))
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			for _, v := range perPolicy[tdnuca.PolicyKind(kind)].Violations {
 				fmt.Fprintf(os.Stderr, "COHERENCE VIOLATION %s/%s: %s\n", bench, kind, v)
 			}
 		}

@@ -1,0 +1,60 @@
+// Command tdnuca-lint runs the internal/analysis static-analysis suite
+// over the module: the determinism, hot-path allocation, and config/units
+// passes described in DESIGN.md §9.
+//
+// Usage:
+//
+//	tdnuca-lint [-root dir] [-json]
+//
+// Exit status: 0 when clean, 1 when findings exist, 2 on a load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tdnuca/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (schema in EXPERIMENTS.md)")
+	flag.Parse()
+
+	rep, err := analysis.Run(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdnuca-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "tdnuca-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f.String())
+		}
+		if len(rep.Findings) > 0 {
+			passes := make([]string, 0, len(rep.Counts))
+			for p := range rep.Counts {
+				passes = append(passes, p)
+			}
+			sort.Strings(passes)
+			fmt.Printf("tdnuca-lint: %d finding(s):", len(rep.Findings))
+			for _, p := range passes {
+				fmt.Printf(" %s=%d", p, rep.Counts[p])
+			}
+			fmt.Println()
+		}
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}

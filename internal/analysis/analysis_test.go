@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// collectWantMarkers parses the fixture sources for expectation markers:
+//
+//	code // want pass/rule [pass/rule ...]   — findings on this line
+//	// want-above pass/rule [...]            — findings on the previous line
+//
+// and returns the expected multiset as "file:line pass/rule" strings with
+// root-relative slash paths.
+func collectWantMarkers(t *testing.T, root string) []string {
+	t.Helper()
+	var want []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			marker, at := "", line
+			if i := strings.Index(text, "// want-above "); i >= 0 {
+				marker, at = text[i+len("// want-above "):], line-1
+			} else if i := strings.Index(text, "// want "); i >= 0 {
+				marker = text[i+len("// want "):]
+			} else {
+				continue
+			}
+			for _, tok := range strings.Fields(marker) {
+				want = append(want, fmt.Sprintf("%s:%d %s", rel, at, tok))
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("collecting want markers: %v", err)
+	}
+	sort.Strings(want)
+	return want
+}
+
+// TestFixtureFindings runs every pass over the lintfix fixture module and
+// compares the findings against the in-source want markers: each planted
+// violation is caught, each allow-listed or suppressed shape is not, and
+// each malformed directive is reported.
+func TestFixtureFindings(t *testing.T) {
+	root := filepath.Join("testdata", "src", "lintfix")
+	rep, err := Run(root)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", root, err)
+	}
+	var got []string
+	for _, f := range rep.Findings {
+		got = append(got, fmt.Sprintf("%s:%d %s/%s", f.File, f.Line, f.Pass, f.Rule))
+	}
+	sort.Strings(got)
+	want := collectWantMarkers(t, root)
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers; the test is vacuous")
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestFixtureReportShape pins the report fields tooling depends on: the
+// schema version, the module path, sorted findings, and per-pass counts.
+func TestFixtureReportShape(t *testing.T) {
+	rep, err := Run(filepath.Join("testdata", "src", "lintfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 {
+		t.Errorf("Version = %d, want 1", rep.Version)
+	}
+	if rep.Module != "lintfix" {
+		t.Errorf("Module = %q, want lintfix", rep.Module)
+	}
+	total := 0
+	for _, n := range rep.Counts {
+		total += n
+	}
+	if total != len(rep.Findings) {
+		t.Errorf("Counts sum to %d, want %d", total, len(rep.Findings))
+	}
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings not sorted: %s before %s", a, b)
+		}
+	}
+	for _, f := range rep.Findings {
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding %s has non-positive position", f)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-test: the real module must lint clean, so
+// `make ci` stays green and every in-tree suppression carries a reason.
+func TestRepoIsClean(t *testing.T) {
+	rep, err := Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Run(../..): %v", err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	// The annotation set must be non-trivial: if the hotpath directives
+	// disappear, the pass silently checks nothing.
+	if len(rep.Counts) != 0 {
+		t.Errorf("Counts = %v, want empty", rep.Counts)
+	}
+}

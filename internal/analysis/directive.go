@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Directive syntax (DESIGN.md §9):
+//
+//	//tdnuca:hotpath
+//	    On a function's doc comment: the function must stay
+//	    allocation-free, transitively, on every resolvable call path.
+//
+//	//tdnuca:allow(<rule>) <reason>
+//	    Suppresses findings of <rule>. On a function's doc comment it
+//	    exempts the whole function (and, for "alloc", stops the
+//	    transitive hot-path walk from descending into it). On or
+//	    immediately above an offending line it exempts that line only.
+//	    The reason is mandatory: a suppression without a recorded
+//	    justification is itself a finding.
+
+// knownRules are the rule names accepted inside allow(...).
+var knownRules = map[string]bool{
+	"maprange":  true,
+	"wallclock": true,
+	"mathrand":  true,
+	"goroutine": true,
+	"alloc":     true,
+	"latency":   true,
+}
+
+// directives is the parsed directive set of a whole Program.
+type directives struct {
+	prog *Program
+
+	// hotFuncs are the //tdnuca:hotpath roots in declaration order.
+	hotFuncs []*types.Func
+
+	// funcAllow exempts entire functions: decl -> rule set.
+	funcAllow map[*ast.FuncDecl]map[string]bool
+
+	// lineAllow exempts single lines: file -> line -> rule set. A
+	// directive covers its own line and the line below it, so it can
+	// ride at the end of the offending line or on its own line above.
+	lineAllow map[string]map[int]map[string]bool
+
+	// findings are malformed directives.
+	findings []Finding
+}
+
+// collectDirectives parses every //tdnuca: comment in the program.
+func collectDirectives(prog *Program) *directives {
+	d := &directives{
+		prog:      prog,
+		funcAllow: make(map[*ast.FuncDecl]map[string]bool),
+		lineAllow: make(map[string]map[int]map[string]bool),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			d.collectFile(pkg, f)
+		}
+	}
+	return d
+}
+
+func (d *directives) collectFile(pkg *Package, f *ast.File) {
+	// Line-scoped directives: every //tdnuca: comment anywhere.
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d.parseComment(pkg, c)
+		}
+	}
+	// Function-scoped directives: the declaration's doc comment.
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Doc != nil {
+			d.collectFuncDoc(pkg, fd)
+		}
+	}
+}
+
+// parseComment handles one comment line, registering line-level allows
+// and reporting malformed directives.
+func (d *directives) parseComment(pkg *Package, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//tdnuca:")
+	if !ok {
+		return
+	}
+	file, line, col := d.prog.Position(c.Pos())
+	text = strings.TrimSpace(text)
+	switch {
+	case text == "hotpath":
+		// Validated in collectFuncDoc; a stray hotpath directive that is
+		// not a function doc comment is caught there by never matching.
+	case strings.HasPrefix(text, "allow("):
+		rule, reason, ok := splitAllow(text)
+		if !ok || !knownRules[rule] {
+			d.findings = append(d.findings, Finding{
+				Pass: "directive", Rule: "syntax", File: file, Line: line, Col: col,
+				Message: "malformed allow directive; want //tdnuca:allow(<rule>) <reason> with rule one of " + ruleNames(),
+			})
+			return
+		}
+		if reason == "" {
+			d.findings = append(d.findings, Finding{
+				Pass: "directive", Rule: "syntax", File: file, Line: line, Col: col,
+				Message: "allow(" + rule + ") without a reason; every suppression must record its justification",
+			})
+			return
+		}
+		d.addLineAllow(file, line, rule)
+		d.addLineAllow(file, line+1, rule)
+	default:
+		d.findings = append(d.findings, Finding{
+			Pass: "directive", Rule: "syntax", File: file, Line: line, Col: col,
+			Message: "unknown directive //tdnuca:" + text + "; want hotpath or allow(<rule>) <reason>",
+		})
+	}
+}
+
+// collectFuncDoc attaches doc-comment directives to the declaration.
+func (d *directives) collectFuncDoc(pkg *Package, fd *ast.FuncDecl) {
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//tdnuca:")
+		if !ok {
+			continue
+		}
+		text = strings.TrimSpace(text)
+		if text == "hotpath" {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				d.hotFuncs = append(d.hotFuncs, fn)
+			}
+			continue
+		}
+		if rule, reason, ok := splitAllow(text); ok && knownRules[rule] && reason != "" {
+			if d.funcAllow[fd] == nil {
+				d.funcAllow[fd] = make(map[string]bool)
+			}
+			d.funcAllow[fd][rule] = true
+		}
+		// Malformed doc directives were already reported by parseComment.
+	}
+}
+
+func (d *directives) addLineAllow(file string, line int, rule string) {
+	if d.lineAllow[file] == nil {
+		d.lineAllow[file] = make(map[int]map[string]bool)
+	}
+	if d.lineAllow[file][line] == nil {
+		d.lineAllow[file][line] = make(map[string]bool)
+	}
+	d.lineAllow[file][line][rule] = true
+}
+
+// allowedAt reports whether rule is suppressed at file:line.
+func (d *directives) allowedAt(file string, line int, rule string) bool {
+	return d.lineAllow[file][line][rule]
+}
+
+// allowedFunc reports whether rule is suppressed for the whole function.
+func (d *directives) allowedFunc(fd *ast.FuncDecl, rule string) bool {
+	return fd != nil && d.funcAllow[fd][rule]
+}
+
+// splitAllow parses "allow(rule) reason" into its parts.
+func splitAllow(text string) (rule, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, "allow(")
+	if !found {
+		return "", "", false
+	}
+	i := strings.IndexByte(rest, ')')
+	if i < 0 {
+		return "", "", false
+	}
+	return rest[:i], strings.TrimSpace(rest[i+1:]), true
+}
+
+func ruleNames() string {
+	names := make([]string, 0, len(knownRules))
+	for r := range knownRules {
+		names = append(names, r)
+	}
+	// Sorted so the diagnostic is deterministic.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, "|")
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hot-path allocation pass guards the PR-2 zero-allocation property
+// statically: functions annotated //tdnuca:hotpath, and everything they
+// transitively call within the module, must contain no allocating
+// constructs. The dynamic AllocsPerRun tests prove the property for the
+// paths a test happens to drive; this pass rejects the allocating code
+// before it is ever reached.
+//
+// Flagged constructs (rule "alloc"):
+//
+//   - make / new
+//   - map and slice composite literals; address-taken composite literals
+//   - append without reuse evidence (first argument not a re-slice)
+//   - closure literals (may escape to the heap)
+//   - map assignment (inserts can allocate and trigger growth)
+//   - string concatenation and conversions to/from string
+//   - value-to-interface conversions at call boundaries, including
+//     variadic interface packing
+//   - any call into fmt
+//
+// Escape hatch: //tdnuca:allow(alloc) <reason> — line-scoped for one
+// construct, doc-comment-scoped to exempt a whole function (the walk
+// does not descend into exempt functions; used for checker-only code
+// guarded by `m.ver == nil` and for amortized growth paths).
+//
+// Limitations, by design (kept honest by the dynamic tests): calls
+// through interfaces (e.g. machine.Policy) and through function values
+// are not resolvable statically and are not followed; calls into the
+// standard library other than fmt are assumed non-allocating.
+
+func hotpathPass(prog *Program, dirs *directives) []Finding {
+	var out []Finding
+	type workItem struct {
+		fn   *types.Func
+		root string
+	}
+	var queue []workItem
+	for _, fn := range dirs.hotFuncs {
+		if src := prog.FuncDecls[fn]; src != nil {
+			queue = append(queue, workItem{fn, funcDisplayName(src.Pkg, src.Decl)})
+		}
+	}
+	visited := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if visited[item.fn] {
+			continue
+		}
+		visited[item.fn] = true
+		src := prog.FuncDecls[item.fn]
+		if src == nil {
+			continue
+		}
+		if dirs.allowedFunc(src.Decl, "alloc") {
+			continue // exempt, and the walk stops here
+		}
+		w := &hotWalker{prog: prog, dirs: dirs, src: src, root: item.root}
+		w.scan()
+		out = append(out, w.findings...)
+		for _, callee := range w.callees {
+			if !visited[callee] {
+				queue = append(queue, workItem{callee, item.root})
+			}
+		}
+	}
+	return out
+}
+
+type hotWalker struct {
+	prog     *Program
+	dirs     *directives
+	src      *FuncSource
+	root     string
+	callees  []*types.Func
+	taken    map[*ast.CompositeLit]bool // address-taken composite literals
+	findings []Finding
+}
+
+func (w *hotWalker) info() *types.Info { return w.src.Pkg.Info }
+
+func (w *hotWalker) report(pos token.Pos, msg string) {
+	file, line, col := w.prog.Position(pos)
+	if w.dirs.allowedAt(file, line, "alloc") {
+		return
+	}
+	name := funcDisplayName(w.src.Pkg, w.src.Decl)
+	detail := msg + " on //tdnuca:hotpath path"
+	if w.root != name {
+		detail += " from " + w.root
+	}
+	w.findings = append(w.findings, Finding{
+		Pass: "hotpath", Rule: "alloc", File: file, Line: line, Col: col,
+		Func: name, Message: detail,
+	})
+}
+
+func (w *hotWalker) scan() {
+	w.taken = make(map[*ast.CompositeLit]bool)
+	ast.Inspect(w.src.Decl.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := u.X.(*ast.CompositeLit); ok {
+				w.taken[cl] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(w.src.Decl.Body, w.visit)
+}
+
+func (w *hotWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.checkCall(n)
+	case *ast.CompositeLit:
+		w.checkCompositeLit(n)
+	case *ast.FuncLit:
+		w.report(n.Pos(), "closure literal (may escape to the heap)")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringType(w.info().TypeOf(n.X)) {
+			w.report(n.Pos(), "string concatenation")
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				if _, isMap := typeUnder(w.info().TypeOf(ix.X)).(*types.Map); isMap {
+					w.report(ix.Pos(), "map assignment (inserts allocate and can grow the table)")
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (w *hotWalker) checkCompositeLit(cl *ast.CompositeLit) {
+	switch typeUnder(w.info().TypeOf(cl)).(type) {
+	case *types.Map:
+		w.report(cl.Pos(), "map literal")
+	case *types.Slice:
+		w.report(cl.Pos(), "slice literal")
+	default:
+		if w.taken[cl] {
+			w.report(cl.Pos(), "address-taken composite literal (escapes to the heap)")
+		}
+	}
+}
+
+func (w *hotWalker) checkCall(call *ast.CallExpr) {
+	info := w.info()
+
+	// Conversion, not a call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if isStringType(target) && !isStringType(from) && !isUntypedConst(info, call.Args[0]) {
+				w.report(call.Pos(), "conversion to string (copies and allocates)")
+			} else if isByteOrRuneSlice(target) && isStringType(from) {
+				w.report(call.Pos(), "string-to-slice conversion (copies and allocates)")
+			} else if types.IsInterface(target.Underlying()) && !interfaceSafe(info.TypeOf(call.Args[0])) {
+				w.report(call.Pos(), "value-to-interface conversion (boxes the value)")
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.report(call.Pos(), "make")
+			case "new":
+				w.report(call.Pos(), "new")
+			case "append":
+				if _, reuse := call.Args[0].(*ast.SliceExpr); !reuse {
+					w.report(call.Pos(), "append without reuse evidence (may grow the backing array)")
+				}
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type().Underlying()) {
+			return // dynamic dispatch: not statically resolvable, not followed
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			switch {
+			case pkg.Path() == "fmt":
+				w.report(call.Pos(), "call into fmt (formats through reflection and allocates)")
+				return
+			case isModulePath(w.prog.Module, pkg.Path()):
+				w.checkInterfaceArgs(call, sig)
+				w.callees = append(w.callees, fn)
+				return
+			}
+		}
+		// Standard library (non-fmt): assumed allocation-free; the
+		// dynamic AllocsPerRun tests keep this assumption honest.
+		return
+	}
+	// Calls through function values (closures, fields) cannot be
+	// resolved; closures created on the hot path are already flagged at
+	// their literal.
+}
+
+// checkInterfaceArgs flags value-to-interface boxing at the boundary of
+// a resolvable module call, including variadic interface packing.
+func (w *hotWalker) checkInterfaceArgs(call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil {
+		return
+	}
+	info := w.info()
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			slice, ok := params.At(n - 1).Type().(*types.Slice)
+			if !ok || call.Ellipsis != token.NoPos {
+				continue
+			}
+			if types.IsInterface(slice.Elem().Underlying()) {
+				w.report(arg.Pos(), "variadic interface argument (packs a slice and boxes values)")
+			}
+			continue
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && !interfaceSafe(info.TypeOf(arg)) {
+			w.report(arg.Pos(), "value-to-interface conversion (boxes the value)")
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X, Args: call.Args})
+	}
+	return nil
+}
+
+func isModulePath(module, p string) bool {
+	return p == module || len(p) > len(module) && p[:len(module)] == module && p[len(module)] == '/'
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := typeUnder(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// interfaceSafe reports whether storing the type in an interface cannot
+// allocate: pointers, interfaces themselves, and nil.
+func interfaceSafe(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isUntypedConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

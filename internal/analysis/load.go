@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	PkgPath string // import path, e.g. "tdnuca/internal/machine"
+	Rel     string // directory relative to the module root ("" for the root package)
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// FuncSource locates the declaration of a module function, so the
+// hot-path pass can walk call chains across package boundaries.
+type FuncSource struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Program is the fully loaded module: every package parsed and
+// type-checked against a single shared FileSet, plus a module-wide index
+// from function objects to their declarations.
+type Program struct {
+	Root      string
+	Module    string
+	Fset      *token.FileSet
+	Pkgs      []*Package
+	FuncDecls map[*types.Func]*FuncSource
+}
+
+// Position renders a token.Pos as a root-relative file:line:col position.
+func (p *Program) Position(pos token.Pos) (file string, line, col int) {
+	ps := p.Fset.Position(pos)
+	rel, err := filepath.Rel(p.Root, ps.Filename)
+	if err != nil {
+		rel = ps.Filename
+	}
+	return filepath.ToSlash(rel), ps.Line, ps.Column
+}
+
+// skipDirs are directory names never descended into: test fixtures,
+// example binaries (out of the lint scope), and VCS metadata.
+var skipDirs = map[string]bool{
+	"testdata": true,
+	"examples": true,
+	".git":     true,
+}
+
+// Load parses and type-checks the module rooted at root: the root
+// package, everything under internal/, and everything under cmd/.
+// Test files are excluded — the determinism and allocation invariants
+// guard simulation code, not test scaffolding. Loading is stdlib-only:
+// packages are parsed with go/parser and checked per package in
+// dependency order, with stdlib imports resolved through go/importer.
+func Load(root string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Root:      abs,
+		Module:    module,
+		Fset:      token.NewFileSet(),
+		FuncDecls: make(map[*types.Func]*FuncSource),
+	}
+
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package)
+	imports := make(map[string][]string) // local import edges
+	for _, rel := range dirs {
+		pkg, localImports, err := parseDir(prog, rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		byPath[pkg.PkgPath] = pkg
+		imports[pkg.PkgPath] = localImports
+	}
+
+	order, err := toposort(byPath, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newProgImporter(prog.Fset, module, byPath)
+	for _, path := range order {
+		pkg := byPath[path]
+		if err := check(prog, pkg, imp); err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	indexFuncDecls(prog)
+	return prog, nil
+}
+
+// modulePath reads the module path from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// packageDirs returns the module-relative directories that may hold
+// packages in the lint scope, in sorted order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (skipDirs[name] || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		dirs = append(dirs, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one directory. It returns nil
+// if the directory holds no Go files.
+func parseDir(prog *Program, rel string) (*Package, []string, error) {
+	dir := filepath.Join(prog.Root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg := &Package{
+		PkgPath: pkgPath(prog.Module, rel),
+		Rel:     rel,
+		Dir:     dir,
+	}
+	localSet := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p == prog.Module || strings.HasPrefix(p, prog.Module+"/") {
+				localSet[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil, nil
+	}
+	local := make([]string, 0, len(localSet))
+	for p := range localSet {
+		local = append(local, p)
+	}
+	sort.Strings(local)
+	return pkg, local, nil
+}
+
+func pkgPath(module, rel string) string {
+	if rel == "" {
+		return module
+	}
+	return module + "/" + rel
+}
+
+// toposort orders packages so every package is checked after its local
+// imports, failing on import cycles.
+func toposort(pkgs map[string]*Package, imports map[string][]string) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int)
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		case black:
+			return nil
+		}
+		state[p] = grey
+		for _, dep := range imports[p] {
+			if _, ok := pkgs[dep]; !ok {
+				continue // outside the loaded scope (e.g. skipped dir)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks one package with full types.Info recording.
+func check(prog *Program, pkg *Package, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(pkg.PkgPath, prog.Fset, pkg.Files, info)
+	if len(errs) > 0 {
+		return fmt.Errorf("analysis: type errors in %s: %v", pkg.PkgPath, errs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("analysis: checking %s: %w", pkg.PkgPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// indexFuncDecls builds the module-wide object -> declaration index the
+// hot-path pass walks.
+func indexFuncDecls(prog *Program) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.FuncDecls[fn] = &FuncSource{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+}
+
+// progImporter resolves imports during type checking: module-local
+// packages come from the already-checked set (guaranteed by topological
+// order); everything else is delegated to the compiler export-data
+// importer, falling back to the source importer when export data is
+// unavailable.
+type progImporter struct {
+	module string
+	local  map[string]*Package
+	std    map[string]*types.Package
+	gc     types.Importer
+	src    types.Importer
+	fset   *token.FileSet
+}
+
+func newProgImporter(fset *token.FileSet, module string, local map[string]*Package) *progImporter {
+	return &progImporter{
+		module: module,
+		local:  local,
+		std:    make(map[string]*types.Package),
+		gc:     importer.ForCompiler(fset, "gc", nil),
+		fset:   fset,
+	}
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if path == pi.module || strings.HasPrefix(path, pi.module+"/") {
+		pkg, ok := pi.local[path]
+		if !ok || pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: local import %q not loaded", path)
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := pi.std[path]; ok {
+		return p, nil
+	}
+	p, err := pi.gc.Import(path)
+	if err != nil {
+		if pi.src == nil {
+			pi.src = importer.ForCompiler(pi.fset, "source", nil)
+		}
+		var srcErr error
+		if p, srcErr = pi.src.Import(path); srcErr != nil {
+			return nil, fmt.Errorf("analysis: importing %q: %v (source fallback: %v)", path, err, srcErr)
+		}
+	}
+	pi.std[path] = p
+	return p, nil
+}

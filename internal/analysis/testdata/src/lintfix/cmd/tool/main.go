@@ -1,0 +1,17 @@
+// Command tool shows the cmd/ scope: maprange applies (iteration order
+// reaches output), but wallclock does not (CLI timing is legitimate).
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() // fine: wallclock is a simulation-package rule
+	m := map[string]int{"a": 1, "b": 2}
+	for k, v := range m { // want determinism/maprange
+		fmt.Println(k, v)
+	}
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,13 @@
+// Package arch is the one home of raw latency numbers: the units pass
+// must not flag anything in this package.
+package arch
+
+import "lintfix/internal/sim"
+
+// DecisionCycles is a named constant next to the Table-I numbers.
+const DecisionCycles sim.Cycles = 30
+
+// Shootdown returns a raw literal as Cycles — exempt inside internal/arch.
+func Shootdown() sim.Cycles {
+	return 400
+}

@@ -1,0 +1,13 @@
+package machine
+
+// Malformed directives are themselves findings: unknown directive name,
+// unknown rule, and a suppression without a reason.
+
+//tdnuca:frobnicate
+// want-above directive/syntax
+
+//tdnuca:allow(bogus) the rule does not exist
+// want-above directive/syntax
+
+var placeholder = 0 //tdnuca:allow(alloc)
+// want-above directive/syntax

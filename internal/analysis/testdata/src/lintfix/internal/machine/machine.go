@@ -1,0 +1,77 @@
+// Package machine holds one specimen of every violation each pass must
+// catch. End-of-line want markers name the expected findings asserted by
+// analysis_test.go.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lintfix/internal/sim"
+)
+
+// Table wraps a map so iteration order can leak into state.
+type Table struct {
+	m map[uint64]int
+}
+
+// Sum mutates state in map iteration order.
+func (t *Table) Sum() int {
+	total := 0
+	for k, v := range t.m { // want determinism/maprange
+		total += int(k) + v
+	}
+	return total
+}
+
+// Timestamp reads the wall clock inside simulation code.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want determinism/wallclock
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() int {
+	return rand.Intn(4) // want determinism/mathrand
+}
+
+// Spawn starts a goroutine outside the harness worker pool.
+func Spawn(f func()) {
+	go f() // want determinism/goroutine
+}
+
+// Penalty returns a raw literal typed as sim.Cycles.
+func Penalty() sim.Cycles {
+	return 400 // want units/latency
+}
+
+// Config mirrors an arch-style latency knob.
+type Config struct {
+	BankLatency int
+}
+
+// NewConfig sets a latency field from a raw literal.
+func NewConfig() Config {
+	return Config{BankLatency: 15} // want units/latency
+}
+
+// Tune assigns a latency field from a raw literal.
+func Tune(c *Config) {
+	c.BankLatency = 7 // want units/latency
+}
+
+// Access is a hot-path root with direct allocating constructs.
+//
+//tdnuca:hotpath
+func Access(buf []int, n int) []int {
+	scratch := make([]int, n) // want hotpath/alloc
+	buf = append(buf, n)      // want hotpath/alloc
+	_ = scratch
+	return helper(buf)
+}
+
+// helper is reached transitively from Access.
+func helper(buf []int) []int {
+	fmt.Println(len(buf)) // want hotpath/alloc
+	return buf
+}

@@ -1,0 +1,5 @@
+// Package sim mirrors the real module's cycle type for the units pass.
+package sim
+
+// Cycles counts simulated clock cycles.
+type Cycles uint64

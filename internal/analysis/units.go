@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The config/units pass keeps every architectural latency rooted in the
+// internal/arch Table-I constants: a raw integer literal flowing into a
+// sim.Cycles value (or into a *Latency config field) outside
+// internal/arch is a magic number that will silently diverge from the
+// modelled machine. Rule "latency"; literals 0 and 1 are exempt — they
+// are identity/disable values, not Table-I latencies.
+
+func unitsPass(prog *Program, dirs *directives) []Finding {
+	cyclesType := findCyclesType(prog)
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if pkg.Rel == "internal/arch" || strings.HasPrefix(pkg.Rel, "internal/arch/") {
+			continue // the one home of raw Table-I numbers
+		}
+		if pkg.Rel == "internal/analysis" || strings.HasPrefix(pkg.Rel, "internal/analysis/") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			w := &unitsWalker{prog: prog, pkg: pkg, dirs: dirs, cycles: cyclesType}
+			w.walkFile(f)
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+// findCyclesType locates the module's sim.Cycles named type.
+func findCyclesType(prog *Program) types.Type {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Rel != "internal/sim" {
+			continue
+		}
+		if obj := pkg.Types.Scope().Lookup("Cycles"); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+type unitsWalker struct {
+	prog     *Program
+	pkg      *Package
+	dirs     *directives
+	cycles   types.Type
+	fn       *ast.FuncDecl
+	findings []Finding
+}
+
+func (w *unitsWalker) walkFile(f *ast.File) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			w.fn = fd
+			ast.Inspect(fd, w.visit)
+			w.fn = nil
+			continue
+		}
+		ast.Inspect(decl, w.visit)
+	}
+}
+
+func (w *unitsWalker) report(pos token.Pos, msg string) {
+	file, line, col := w.prog.Position(pos)
+	if w.dirs.allowedAt(file, line, "latency") || w.dirs.allowedFunc(w.fn, "latency") {
+		return
+	}
+	fn := ""
+	if w.fn != nil {
+		fn = funcDisplayName(w.pkg, w.fn)
+	}
+	w.findings = append(w.findings, Finding{
+		Pass: "units", Rule: "latency", File: file, Line: line, Col: col,
+		Func: fn, Message: msg,
+	})
+}
+
+func (w *unitsWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// cfg.SomethingLatency = 7 outside internal/arch.
+		for i, lhs := range n.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || !strings.Contains(sel.Sel.Name, "Latency") || i >= len(n.Rhs) {
+				continue
+			}
+			if lit, ok := n.Rhs[i].(*ast.BasicLit); ok && w.latencyMagnitude(lit) {
+				w.report(lit.Pos(),
+					"raw integer literal "+lit.Value+" assigned to "+sel.Sel.Name+"; name it in internal/arch next to the Table-I constants")
+			}
+		}
+	case *ast.KeyValueExpr:
+		// arch.Config{SomethingLatency: 7} outside internal/arch.
+		if key, ok := n.Key.(*ast.Ident); ok && strings.Contains(key.Name, "Latency") {
+			if lit, ok := n.Value.(*ast.BasicLit); ok && w.latencyMagnitude(lit) {
+				w.report(lit.Pos(),
+					"raw integer literal "+lit.Value+" used for "+key.Name+"; name it in internal/arch next to the Table-I constants")
+			}
+		}
+	case *ast.BasicLit:
+		if !w.latencyMagnitude(n) {
+			return true
+		}
+		tv := w.pkg.Info.Types[n]
+		if w.cycles != nil && tv.Type != nil && types.Identical(tv.Type, w.cycles) {
+			w.report(n.Pos(),
+				"raw integer literal "+n.Value+" used as sim.Cycles; name it in internal/arch next to the Table-I constants")
+		}
+	}
+	return true
+}
+
+// latencyMagnitude reports whether the literal is an integer other than
+// the exempt identity/disable values 0 and 1.
+func (w *unitsWalker) latencyMagnitude(lit *ast.BasicLit) bool {
+	if lit.Kind != token.INT {
+		return false
+	}
+	tv, ok := w.pkg.Info.Types[lit]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return exact && v > 1
+}

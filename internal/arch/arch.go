@@ -131,6 +131,38 @@ func DefaultConfig() Config {
 	}
 }
 
+// Fixed cycle costs that are not per-machine Config knobs. They live
+// here, next to the Table-I constants, so that every latency in the
+// model has exactly one named home (enforced by the tdnuca-lint
+// config/units pass: a raw integer literal used as sim.Cycles outside
+// this package is a finding).
+const (
+	// TLBShootdownCycles is the cost of a TLB shootdown broadcast when
+	// R-NUCA re-classifies a page (private -> shared), following the
+	// Hardavellas et al. re-classification mechanism.
+	TLBShootdownCycles = 400
+
+	// ManagerDecisionCycles is charged to the creator core for each
+	// TD-NUCA runtime mapping decision taken at task creation.
+	ManagerDecisionCycles = 30
+
+	// ManagerPollCycles is charged for polling the runtime cache
+	// directory on a dependency that already has a decision.
+	ManagerPollCycles = 20
+
+	// TaskCreateCycles is the fixed runtime overhead of creating a task
+	// (Nanos++-style task instantiation).
+	TaskCreateCycles = 150
+
+	// TaskCreatePerDepCycles is the additional creation overhead per
+	// declared dependence (dependence-graph insertion).
+	TaskCreatePerDepCycles = 40
+
+	// ComputePerBlockCycles is the synthetic compute charged by the
+	// workload sweep helpers per cache block processed.
+	ComputePerBlockCycles = 12
+)
+
 // ScaledConfig returns the scaled-down machine used by the default
 // experiments: identical topology, latencies and associativities to
 // DefaultConfig, but with a 1MB LLC (64KB/bank) and 8KB L1s so that the

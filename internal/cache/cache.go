@@ -205,6 +205,8 @@ func (c *Cache) Probe(addr amath.Addr) State {
 // Hit/miss statistics are updated. A miss arms the miss cursor so the
 // Insert that services it skips its redundant residency scan — together
 // the Access→Insert sequence of a miss+fill scans the set's ways once.
+//
+//tdnuca:hotpath
 func (c *Cache) Access(addr amath.Addr) State {
 	set, tag := c.index(addr)
 	if w := c.find(set, tag); w >= 0 {
@@ -228,6 +230,8 @@ type Victim struct {
 // way if the set is full. If the block is already resident its state is
 // simply updated (no eviction). The displaced line, if any, is returned
 // so the caller can issue a writeback when it was Modified.
+//
+//tdnuca:hotpath
 func (c *Cache) Insert(addr amath.Addr, st State) Victim {
 	if !st.IsValid() {
 		panic("cache: Insert with Invalid state")

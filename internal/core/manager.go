@@ -162,8 +162,8 @@ func NewManager(m *machine.Machine, variant Variant) *Manager {
 		cfg:                m.Cfg,
 		dir:                NewRTCacheDirectory(),
 		variant:            variant,
-		DecisionCost:       30,
-		PollCost:           20,
+		DecisionCost:       arch.ManagerDecisionCycles,
+		PollCost:           arch.ManagerPollCycles,
 		ReplicateThreshold: 24,
 		decisions:          make(map[int][]depDecision),
 	}

@@ -9,6 +9,8 @@ import (
 // Access simulates one memory access with an unspecified start time
 // (cycle 0) — fine for tests and for machines without the NoC contention
 // model. The runtime uses AccessAt with the core's clock.
+//
+//tdnuca:hotpath
 func (m *Machine) Access(core int, va amath.Addr, write bool) sim.Cycles {
 	return m.AccessAt(core, va, write, 0)
 }
@@ -20,6 +22,8 @@ func (m *Machine) Access(core int, va amath.Addr, write bool) sim.Cycles {
 // controller (queued and serialized per link when contention is on), the
 // bank/directory actions, and a possible DRAM fetch, exactly as
 // Sec. III-B3 describes.
+//
+//tdnuca:hotpath
 func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) sim.Cycles {
 	if m.policy == nil {
 		panic("machine: Access before SetPolicy")

@@ -1,10 +1,19 @@
 package machine
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
+	"tdnuca/internal/cache"
+	"tdnuca/internal/vm"
 )
 
 // benchMachine builds a ScaledConfig machine with the coherence checker
@@ -57,5 +66,137 @@ func TestLLCHitPathAllocFree(t *testing.T) {
 
 	if n := testing.AllocsPerRun(10, sweep); n != 0 {
 		t.Errorf("LLC hit sweep allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestTLBAccessAllocFree pins the annotated vm hot paths directly: a TLB
+// sweep that exercises hits, misses and LRU evictions, and the MRU
+// translation memo crossing pre-touched pages, allocate nothing.
+func TestTLBAccessAllocFree(t *testing.T) {
+	tlb := vm.NewTLB(64)
+	if n := testing.AllocsPerRun(100, func() {
+		for vp := uint64(0); vp < 128; vp++ { // 2x capacity: every access past warmup evicts
+			tlb.Access(vp)
+		}
+	}); n != 0 {
+		t.Errorf("TLB sweep allocates %v allocs/run, want 0", n)
+	}
+
+	as := vm.NewAddressSpace(4096, 0, 1)
+	region := amath.NewRange(0, 1<<20)
+	as.Touch(region) // pre-fault, so the loop below measures steady state
+	var tc vm.TransCache
+	if n := testing.AllocsPerRun(10, func() {
+		for off := uint64(0); off < 1<<20; off += 64 {
+			as.TranslateMRU(&tc, amath.Addr(off))
+		}
+	}); n != 0 {
+		t.Errorf("TranslateMRU sweep allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestCacheAccessAllocFree pins the annotated cache hot paths directly: a
+// working set twice the cache capacity drives Access misses and Insert
+// evictions through every set, with zero allocations.
+func TestCacheAccessAllocFree(t *testing.T) {
+	c := cache.MustNew(8<<10, 8, 64)
+	if n := testing.AllocsPerRun(100, func() {
+		for off := 0; off < 16<<10; off += 64 {
+			addr := amath.Addr(off)
+			if c.Access(addr) == cache.Invalid {
+				c.Insert(addr, cache.Shared)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("cache miss/fill sweep allocates %v allocs/run, want 0", n)
+	}
+}
+
+// hotpathAnnotations scans a package directory for functions annotated
+// //tdnuca:hotpath, returning "pkg.Func" / "pkg.(*Recv).Method" names.
+func hotpathAnnotations(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) != "//tdnuca:hotpath" {
+					continue
+				}
+				name := f.Name.Name + "." + fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					var b strings.Builder
+					if err := (&typePrinter{&b}).print(fd.Recv.List[0].Type); err != nil {
+						t.Fatal(err)
+					}
+					name = f.Name.Name + ".(" + b.String() + ")." + fd.Name.Name
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	return names
+}
+
+// typePrinter renders the receiver type expressions used in this module.
+type typePrinter struct{ b *strings.Builder }
+
+func (p *typePrinter) print(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.Ident:
+		p.b.WriteString(e.Name)
+		return nil
+	case *ast.StarExpr:
+		p.b.WriteString("*")
+		return p.print(e.X)
+	}
+	return &os.PathError{Op: "print", Path: "receiver", Err: os.ErrInvalid}
+}
+
+// TestHotpathAnnotationSet pins the //tdnuca:hotpath annotation set to
+// exactly the functions the AllocsPerRun tests in this file and the vm
+// sweeps above exercise. Annotating a new root without extending the
+// dynamic coverage (or dropping an annotation that tests still rely on)
+// fails here — the static pass and the dynamic tests must describe the
+// same set.
+func TestHotpathAnnotationSet(t *testing.T) {
+	want := []string{
+		"cache.(*Cache).Access",
+		"cache.(*Cache).Insert",
+		"machine.(*Machine).Access",
+		"machine.(*Machine).AccessAt",
+		"machine.(*dirTable).get",
+		"machine.(*dirTable).ref",
+		"vm.(*AddressSpace).TranslateMRU",
+		"vm.(*TLB).Access",
+	}
+	var got []string
+	for _, dir := range []string{".", "../cache", "../vm"} {
+		got = append(got, hotpathAnnotations(t, dir)...)
+	}
+	sort.Strings(got)
+	for i, w := range want {
+		if i >= len(got) || got[i] != w {
+			t.Fatalf("annotated hot-path set changed:\n got %v\nwant %v\nextend the AllocsPerRun coverage in this file to match", got, want)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("annotated hot-path set changed:\n got %v\nwant %v\nextend the AllocsPerRun coverage in this file to match", got, want)
 	}
 }

@@ -52,6 +52,8 @@ func (d *dirTable) probe(block uint64) (idx uint64, found bool) {
 }
 
 // get returns the entry for block, or nil if the block is untracked.
+//
+//tdnuca:hotpath
 func (d *dirTable) get(block uint64) *dirEntry {
 	if len(d.slots) == 0 {
 		return nil
@@ -65,6 +67,8 @@ func (d *dirTable) get(block uint64) *dirEntry {
 // ref returns the entry for block, creating it (owner -1, no sharers)
 // if the block is untracked — the probe-then-insert pattern of the fill
 // and writeback paths, done with a single hash and probe sequence.
+//
+//tdnuca:hotpath
 func (d *dirTable) ref(block uint64) *dirEntry {
 	if len(d.slots) == 0 {
 		d.grow()
@@ -112,6 +116,9 @@ func (d *dirTable) del(block uint64) {
 	d.slots[i] = dirSlot{}
 }
 
+// grow doubles the open-addressed table and rehashes the live slots.
+//
+//tdnuca:allow(alloc) geometric growth: O(log n) allocations over a whole run, amortized to zero per access
 func (d *dirTable) grow() {
 	old := d.slots
 	n := 2 * len(old)

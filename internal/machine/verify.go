@@ -25,6 +25,9 @@ func (m *Machine) SetWatchBlock(pa amath.Addr, w io.Writer) {
 	m.watchBlock, m.watchW = pa, w
 }
 
+// watch prints one coherence-trace event when the block is watched.
+//
+//tdnuca:allow(alloc) trace-only: reached only when a watch block is armed; never on a measured run
 func (m *Machine) watch(pa amath.Addr, format string, args ...any) {
 	if m.watchBlock != 0 && pa == m.watchBlock {
 		fmt.Fprintf(m.watchW, "watch %#x: %s\n", uint64(pa), fmt.Sprintf(format, args...))
@@ -61,6 +64,9 @@ func newVerifier(cfg *arch.Config) *verifier {
 
 const maxViolations = 20
 
+// report records one violation, capped at maxViolations.
+//
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (v *verifier) report(format string, args ...any) {
 	if len(v.violations) < maxViolations {
 		v.violations = append(v.violations, fmt.Sprintf(format, args...))
@@ -79,6 +85,7 @@ func (m *Machine) Violations() []string {
 // goldenWrite records a core's store: the block's golden version advances
 // and the core's L1 copy becomes the only current one. The L1 line must
 // be Modified at this point.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) goldenWrite(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -92,6 +99,7 @@ func (m *Machine) goldenWrite(core int, pa amath.Addr) {
 }
 
 // verifyL1Read checks a read served by the core's own L1.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyL1Read(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -103,6 +111,7 @@ func (m *Machine) verifyL1Read(core int, pa amath.Addr) {
 
 // verifyServeFromBank checks a demand request served by a bank and
 // propagates the bank's version into the requesting core's L1.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyServeFromBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -117,6 +126,7 @@ func (m *Machine) verifyServeFromBank(core, bank int, pa amath.Addr) {
 }
 
 // verifyFillFromMemory checks a bypass fill served straight from DRAM.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyFillFromMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -133,6 +143,7 @@ func (m *Machine) verifyFillFromMemory(core int, pa amath.Addr) {
 // verifyBankFillFromMemory propagates memory's version into a bank on an
 // LLC miss fill. Staleness is not checked here — it is caught when the
 // copy is served.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyBankFillFromMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -142,6 +153,7 @@ func (m *Machine) verifyBankFillFromMemory(bank int, pa amath.Addr) {
 }
 
 // verifyOwnerWriteback propagates a dirty owner's version into the bank.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyOwnerWriteback(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -151,6 +163,7 @@ func (m *Machine) verifyOwnerWriteback(core, bank int, pa amath.Addr) {
 }
 
 // verifyWritebackToBank propagates an L1 victim's version into the bank.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyWritebackToBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -160,6 +173,7 @@ func (m *Machine) verifyWritebackToBank(core, bank int, pa amath.Addr) {
 }
 
 // verifyWritebackToMemory propagates a bypassed victim's version to DRAM.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyWritebackToMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -170,6 +184,7 @@ func (m *Machine) verifyWritebackToMemory(core int, pa amath.Addr) {
 
 // verifyBankWritebackToMemory propagates a dirty LLC victim's version to
 // DRAM.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyBankWritebackToMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -183,6 +198,7 @@ func (m *Machine) verifyBankWritebackToMemory(bank int, pa amath.Addr) {
 func (m *Machine) verifyL1Fill(core int, pa amath.Addr) {}
 
 // verifyL1Drop forgets a core's copy after invalidation or eviction.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyL1Drop(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -192,6 +208,7 @@ func (m *Machine) verifyL1Drop(core int, pa amath.Addr) {
 }
 
 // verifyBankDrop forgets a bank's copy after eviction or flush.
+//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (m *Machine) verifyBankDrop(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return

@@ -87,6 +87,7 @@ func (n *Network) SendAt(from, to, bytes int, now sim.Cycles) (hops int, latency
 	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
 	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
 	cur := from
+	//tdnuca:allow(alloc) non-escaping closure over locals: inlined/stack-allocated, confirmed by the AllocsPerRun tests
 	step := func(dir, nxt int) {
 		n.linkBytes[cur][dir] += uint64(bytes)
 		t += sim.Cycles(n.cfg.RouterLatency)

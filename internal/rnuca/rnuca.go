@@ -13,6 +13,7 @@ package rnuca
 
 import (
 	"math/bits"
+	"sort"
 
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
@@ -93,7 +94,7 @@ func New(m *machine.Machine) *RNUCA {
 		m:                 m,
 		cfg:               m.Cfg,
 		pages:             make(map[uint64]*pageInfo),
-		ShootdownCycles:   400,
+		ShootdownCycles:   arch.TLBShootdownCycles,
 		AssumeInitWritten: true,
 	}
 }
@@ -233,7 +234,13 @@ func (r *RNUCA) reclassify(info *pageInfo, pp uint64, ac machine.AccessContext) 
 // BlockClasses returns the number of unique touched cache blocks whose
 // page ended the run in each class — the R-NUCA bar of Fig. 3.
 func (r *RNUCA) BlockClasses() (private, sharedRO, shared uint64) {
-	for _, info := range r.pages {
+	pns := make([]uint64, 0, len(r.pages))
+	for pn := range r.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		info := r.pages[pn]
 		n := uint64(bits.OnesCount64(info.touched))
 		switch info.class {
 		case ClassPrivate:

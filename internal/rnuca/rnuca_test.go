@@ -216,3 +216,34 @@ func TestClassString(t *testing.T) {
 		t.Error("Class.String wrong")
 	}
 }
+
+// TestBlockClassesDeterministic runs the same classification history in
+// two fresh machines and requires identical BlockClasses output — the
+// regression test for the sorted-page-iteration fix flagged by
+// tdnuca-lint's determinism pass (BlockClasses used to range over the
+// page map directly).
+func TestBlockClassesDeterministic(t *testing.T) {
+	run := func() [3]uint64 {
+		m, p := newM(t)
+		// A mix of private, shared-read-only and shared pages across cores.
+		for page := 0; page < 32; page++ {
+			base := amath.Addr(page * 4096)
+			m.Access(page%4, base, page%3 == 0)
+			if page%2 == 0 {
+				m.Access((page+1)%4, base+64, false)
+			}
+			if page%5 == 0 {
+				m.Access((page+2)%4, base+128, true)
+			}
+		}
+		var out [3]uint64
+		out[0], out[1], out[2] = p.BlockClasses()
+		return out
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: BlockClasses = %v, first run %v", i, got, first)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
 	"tdnuca/internal/machine"
 	"tdnuca/internal/sim"
 )
@@ -58,7 +59,11 @@ type Options struct {
 
 // DefaultOptions returns the cost model used by all experiments.
 func DefaultOptions() Options {
-	return Options{CreateCost: 150, CreateCostPerDep: 40, ComputePerBlock: 12}
+	return Options{
+		CreateCost:       arch.TaskCreateCycles,
+		CreateCostPerDep: arch.TaskCreatePerDepCycles,
+		ComputePerBlock:  arch.ComputePerBlockCycles,
+	}
 }
 
 // Runtime is the task dataflow runtime bound to one simulated machine.

@@ -103,7 +103,7 @@ func (as *AddressSpace) PhysPage(virtPage uint64) uint64 {
 		return p
 	}
 	p := as.alloc.Alloc()
-	as.table[virtPage] = p
+	as.table[virtPage] = p //tdnuca:allow(alloc) first-touch page fault: one insert per page ever touched, amortized over the 64 block accesses the page serves
 	return p
 }
 
@@ -141,6 +141,8 @@ func (tc *TransCache) Invalidate() { tc.valid = false }
 // a virtual address to its physical address through the memo, touching
 // the page-table map (and allocating on first touch) only when the
 // access leaves the memoized page. Results are identical to Translate.
+//
+//tdnuca:hotpath
 func (as *AddressSpace) TranslateMRU(tc *TransCache, va amath.Addr) amath.Addr {
 	pb := uint64(as.pageBytes)
 	vp := uint64(va) / pb
@@ -158,21 +160,30 @@ func (as *AddressSpace) Touch(r amath.Range) {
 	})
 }
 
-// TLB is a fully-associative translation lookaside buffer with true-LRU
-// replacement, modelling the paper's 64-entry 1-cycle ITLB/DTLB.
-type TLB struct {
-	capacity int
-	entries  map[uint64]int // virtual page -> last-use stamp
-	stamp    int
+// tlbEntry is one resident translation: the virtual page and its
+// last-use stamp for true-LRU replacement.
+type tlbEntry struct {
+	vp    uint64
+	stamp int
+}
 
-	// MRU fast path: the most recently accessed page with its latest
-	// stamp. The page is always present in entries as well; only its
-	// stamp is shadowed here and written back lazily (syncMRU), so
+// TLB is a fully-associative translation lookaside buffer with true-LRU
+// replacement, modelling the paper's 64-entry 1-cycle ITLB/DTLB. The
+// resident set lives in a flat pre-allocated slice rather than a map:
+// at 64 entries a linear scan beats hashing, every operation is
+// allocation-free, and — because stamps are unique — the min-stamp
+// victim scan is deterministic by construction, with no iteration-order
+// tie-break to defend.
+type TLB struct {
+	entries []tlbEntry // fixed capacity; the first `used` slots are resident
+	used    int
+	stamp   int
+
+	// MRU fast path: the slot of the most recently accessed page, so
 	// repeated accesses to one page — 64 consecutive block accesses per
-	// 4KB page in the streaming common case — cost no map operations.
-	mruPage  uint64
-	mruStamp int
-	mruValid bool
+	// 4KB page in the streaming common case — skip the resident scan.
+	mruIdx int
+	mruOK  bool
 
 	hits   uint64
 	misses uint64
@@ -180,65 +191,64 @@ type TLB struct {
 
 // NewTLB creates a TLB with the given number of entries.
 func NewTLB(entries int) *TLB {
-	return &TLB{capacity: entries, entries: make(map[uint64]int, entries)}
-}
-
-// syncMRU writes the shadowed MRU stamp back into the map so that LRU
-// victim scans observe up-to-date recency. Only the stamp is shadowed —
-// residency (hit/miss, Len, capacity) is never affected by the memo.
-func (t *TLB) syncMRU() {
-	if t.mruValid {
-		t.entries[t.mruPage] = t.mruStamp
-		t.mruValid = false
-	}
+	return &TLB{entries: make([]tlbEntry, entries)}
 }
 
 // Access looks up a virtual page, returning whether it hit. On a miss the
 // translation is filled, evicting the least recently used entry if full.
+//
+//tdnuca:hotpath
 func (t *TLB) Access(virtPage uint64) bool {
 	t.stamp++
-	if t.mruValid && virtPage == t.mruPage {
-		t.mruStamp = t.stamp
+	if t.mruOK && t.entries[t.mruIdx].vp == virtPage {
+		t.entries[t.mruIdx].stamp = t.stamp
 		t.hits++
 		return true
 	}
-	t.syncMRU()
-	if _, ok := t.entries[virtPage]; ok {
-		t.hits++
-		t.mruPage, t.mruStamp, t.mruValid = virtPage, t.stamp, true
-		return true
+	for i := 0; i < t.used; i++ {
+		if t.entries[i].vp == virtPage {
+			t.entries[i].stamp = t.stamp
+			t.mruIdx, t.mruOK = i, true
+			t.hits++
+			return true
+		}
 	}
 	t.misses++
-	if len(t.entries) >= t.capacity {
-		victim, oldest := uint64(0), t.stamp+1
-		for vp, s := range t.entries {
-			if s < oldest || (s == oldest && vp < victim) {
-				victim, oldest = vp, s
+	idx := t.used
+	if t.used < len(t.entries) {
+		t.used++
+	} else {
+		// Evict the LRU entry. Stamps are unique, so the minimum is too:
+		// victim selection cannot depend on scan order.
+		idx = 0
+		for i := 1; i < t.used; i++ {
+			if t.entries[i].stamp < t.entries[idx].stamp {
+				idx = i
 			}
 		}
-		delete(t.entries, victim)
 	}
-	t.entries[virtPage] = t.stamp
-	t.mruPage, t.mruStamp, t.mruValid = virtPage, t.stamp, true
+	t.entries[idx] = tlbEntry{virtPage, t.stamp}
+	t.mruIdx, t.mruOK = idx, true
 	return false
 }
 
 // Flush empties the TLB — the cost model for an address-space switch on
 // a core (the simulated machine has untagged TLBs).
 func (t *TLB) Flush() {
-	t.entries = make(map[uint64]int, t.capacity)
-	t.mruValid = false
+	t.used = 0
+	t.mruOK = false
 }
 
 // Invalidate removes a virtual page from the TLB (used by R-NUCA page
 // reclassification shootdowns). It reports whether the page was present.
 func (t *TLB) Invalidate(virtPage uint64) bool {
-	if _, ok := t.entries[virtPage]; ok {
-		if t.mruValid && t.mruPage == virtPage {
-			t.mruValid = false
+	for i := 0; i < t.used; i++ {
+		if t.entries[i].vp == virtPage {
+			t.used--
+			t.entries[i] = t.entries[t.used]
+			t.mruOK = false
+			return true
 		}
-		delete(t.entries, virtPage)
-		return true
 	}
 	return false
 }
@@ -259,7 +269,7 @@ func (t *TLB) HitRatio() float64 {
 }
 
 // Len returns the number of resident entries.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int { return t.used }
 
 // RangeTranslation is the result of iteratively translating a virtual
 // range through the TLB: the collapsed physical ranges plus the number of
