@@ -48,7 +48,8 @@ type Config struct {
 	DirWays           int
 	DirLatency        int // cycles per directory lookup
 
-	// NoC: per-hop costs. A hop traverses one router and one link.
+	// NoC: per-traversal costs. An h-hop message crosses h links and
+	// h+1 routers (injection, intermediates, ejection); see HopLatency.
 	RouterLatency int
 	LinkLatency   int
 
@@ -283,10 +284,15 @@ func (c *Config) Hops(from, to int) int {
 }
 
 // HopLatency returns the NoC latency in cycles of a message traversing h
-// hops: each hop costs one router plus one link traversal. A zero-hop
-// (local) message pays no NoC latency.
+// hops. An h-hop message passes through h+1 routers (injection at the
+// source, one per intermediate tile, ejection at the destination) and h
+// links, so the latency is (h+1) routers plus h links. A zero-hop
+// (local) message never enters the network and pays no NoC latency.
 func (c *Config) HopLatency(h int) int {
-	return h * (c.RouterLatency + c.LinkLatency)
+	if h <= 0 {
+		return 0
+	}
+	return (h+1)*c.RouterLatency + h*c.LinkLatency
 }
 
 // ClusterOf returns the replication-cluster id the tile belongs to.

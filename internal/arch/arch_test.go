@@ -265,7 +265,11 @@ func TestHopLatency(t *testing.T) {
 	if got := c.HopLatency(0); got != 0 {
 		t.Errorf("HopLatency(0) = %d, want 0", got)
 	}
-	if got := c.HopLatency(3); got != 3*(c.RouterLatency+c.LinkLatency) {
-		t.Errorf("HopLatency(3) = %d", got)
+	// An h-hop message crosses h+1 routers and h links.
+	if got := c.HopLatency(1); got != 2*c.RouterLatency+c.LinkLatency {
+		t.Errorf("HopLatency(1) = %d, want %d", got, 2*c.RouterLatency+c.LinkLatency)
+	}
+	if got := c.HopLatency(3); got != 4*c.RouterLatency+3*c.LinkLatency {
+		t.Errorf("HopLatency(3) = %d, want %d", got, 4*c.RouterLatency+3*c.LinkLatency)
 	}
 }

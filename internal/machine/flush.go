@@ -18,6 +18,11 @@ import (
 const (
 	flushPipeline    = 8
 	flushIssueCycles = 1
+
+	// flushCheckCycles is the cost of reading the flush engine's
+	// completion register when a flush covers no blocks: the engine is
+	// still consulted, but no scan starts and no FlushOp is recorded.
+	flushCheckCycles = 1
 )
 
 func (m *Machine) flushScanCycles(r amath.Range, cacheLines int) sim.Cycles {
@@ -34,6 +39,10 @@ func (m *Machine) flushScanCycles(r amath.Range, cacheLines int) sim.Cycles {
 // It returns the cycles the flush occupied and the number of blocks
 // flushed. This implements tdnuca_flush with cache_level = private.
 func (m *Machine) FlushL1Range(core int, r amath.Range) (sim.Cycles, int) {
+	if r.NumBlocks(m.Cfg.BlockBytes) == 0 {
+		m.met.FlushCycles += flushCheckCycles
+		return flushCheckCycles, 0
+	}
 	m.met.FlushOps++
 	l1 := m.L1s[core]
 	lat := m.flushScanCycles(r, l1.Sets()*l1.Ways())
@@ -97,6 +106,10 @@ func (m *Machine) flushWriteback(core int, pa amath.Addr) sim.Cycles {
 // lines and directory entries are dropped. This implements tdnuca_flush
 // with cache_level = LLC and the relocation flushes of R-NUCA.
 func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
+	if r.NumBlocks(m.Cfg.BlockBytes) == 0 {
+		m.met.FlushCycles += flushCheckCycles
+		return flushCheckCycles, 0
+	}
 	m.met.FlushOps++
 	b := m.Banks[bank]
 	lat := m.flushScanCycles(r, b.Cache.Sets()*b.Cache.Ways())

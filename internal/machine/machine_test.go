@@ -343,6 +343,32 @@ func TestFlushL1Range(t *testing.T) {
 	checkClean(t, m)
 }
 
+// TestEmptyRangeFlushIsAccountedNoOp pins the bugfix: a flush covering
+// zero blocks does not count as a FlushOp (nothing was flushed) but
+// still costs the 1-cycle completion-register check, so zero-cycle
+// flushes can never appear in the accounting.
+func TestEmptyRangeFlushIsAccountedNoOp(t *testing.T) {
+	m := testMachine(t)
+	empty := amath.NewRange(0x1000, 0)
+	before := m.Metrics()
+	latL1, nL1 := m.FlushL1Range(0, empty)
+	latBank, nBank := m.FlushBankRange(0, empty)
+	if nL1 != 0 || nBank != 0 {
+		t.Errorf("empty flush removed blocks: l1=%d bank=%d", nL1, nBank)
+	}
+	if latL1 != 1 || latBank != 1 {
+		t.Errorf("empty flush latencies = %d, %d; want 1-cycle completion-register check each", latL1, latBank)
+	}
+	after := m.Metrics()
+	if after.FlushOps != before.FlushOps || after.FlushedBlocks != before.FlushedBlocks {
+		t.Errorf("empty flush counted as op: ops %d->%d blocks %d->%d",
+			before.FlushOps, after.FlushOps, before.FlushedBlocks, after.FlushedBlocks)
+	}
+	if after.FlushCycles != before.FlushCycles+2 {
+		t.Errorf("FlushCycles %d -> %d, want +2", before.FlushCycles, after.FlushCycles)
+	}
+}
+
 func TestFlushBankRangeWritesDirtyToDRAM(t *testing.T) {
 	cfg := arch.ScaledConfig()
 	cfg.CheckInvariants = true

@@ -28,10 +28,16 @@ type linkState struct {
 const maxQueueFactor = 8
 
 // EnableContention switches the network to the queueing model with the
-// given per-link bandwidth in bytes per cycle.
+// given per-link bandwidth in bytes per cycle. It must be called before
+// any traffic is sent: enabling contention mid-run would start the
+// utilization estimate from empty link state while the byte counters say
+// otherwise, silently under-charging queueing, so that is a panic.
 func (n *Network) EnableContention(bandwidthBytes int) {
 	if bandwidthBytes <= 0 {
 		panic("noc: contention bandwidth must be positive")
+	}
+	if n.messages > 0 {
+		panic("noc: EnableContention after traffic would zero the utilization state; enable it before the first Send")
 	}
 	n.contention = true
 	n.bwBytes = bandwidthBytes
@@ -115,8 +121,15 @@ func (n *Network) SendAt(from, to, bytes int, now sim.Cycles) (hops int, latency
 			y--
 		}
 	}
+	if hops > 0 {
+		// Ejection router at the destination: HopLatency and Send charge
+		// h+1 routers for an h-hop message, and so must the contention
+		// path (the per-hop step above charges only the h upstream
+		// routers).
+		t += sim.Cycles(n.cfg.RouterLatency)
+		n.flitHops += uint64(hops) + 1
+	}
 	n.byteHops += uint64(bytes) * uint64(hops)
-	n.flitHops += uint64(hops)
 	return hops, t - now
 }
 

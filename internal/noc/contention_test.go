@@ -2,6 +2,7 @@ package noc
 
 import (
 	"testing"
+	"testing/quick"
 
 	"tdnuca/internal/arch"
 	"tdnuca/internal/sim"
@@ -29,10 +30,11 @@ func TestContentionDisabledMatchesSend(t *testing.T) {
 
 func TestQuietLinkHasNoQueueing(t *testing.T) {
 	n, cfg := contended(t)
-	// First message ever: pure router + serialization latency.
+	// First message ever: pure router + serialization latency over h+1
+	// routers and h links.
 	occ := sim.Cycles((64 + cfg.LinkBandwidthBytes - 1) / cfg.LinkBandwidthBytes)
 	hops, lat := n.SendAt(0, 2, 64, 0)
-	want := sim.Cycles(hops) * (sim.Cycles(cfg.RouterLatency) + occ)
+	want := sim.Cycles(hops+1)*sim.Cycles(cfg.RouterLatency) + sim.Cycles(hops)*occ
 	if lat != want {
 		t.Errorf("quiet-link latency = %d, want %d", lat, want)
 	}
@@ -53,10 +55,10 @@ func TestSaturatedLinkQueues(t *testing.T) {
 	if n.QueueingCycles() == 0 {
 		t.Fatal("saturated link never queued")
 	}
-	// The cap bounds each 1-hop message at router + serialization +
-	// maxQueueFactor x serialization.
+	// The cap bounds each 1-hop message at two routers (injection +
+	// ejection) + serialization + maxQueueFactor x serialization.
 	occ := sim.Cycles((72 + 15) / 16)
-	maxPer := sim.Cycles(1) + occ*(maxQueueFactor+1)
+	maxPer := sim.Cycles(2) + occ*(maxQueueFactor+1)
 	if avg := total / 200; avg > maxPer {
 		t.Errorf("average latency %d exceeds the per-message bound %d", avg, maxPer)
 	}
@@ -85,7 +87,7 @@ func TestContentionOrderInsensitivity(t *testing.T) {
 	}
 	_, lat := n.SendAt(0, 1, 72, 50) // "early" task second
 	occ := sim.Cycles(72 / 16)
-	if lat > (occ*(maxQueueFactor+1)+sim.Cycles(1))*2 {
+	if lat > (occ*(maxQueueFactor+1)+sim.Cycles(2))*2 {
 		t.Errorf("out-of-order arrival charged %d cycles; inflation bug", lat)
 	}
 }
@@ -103,6 +105,72 @@ func TestContentionDeterminism(t *testing.T) {
 	if run() != run() {
 		t.Error("contention model nondeterministic")
 	}
+}
+
+// TestSendSendAtParityNoContention is the property test for the
+// non-contention fallback: with contention disabled, SendAt must be
+// indistinguishable from Send — same hops, same latency, and identical
+// updates to every counter (messages, linkBytes, byteHops, flitHops,
+// ctrl/data message and byte counts).
+func TestSendSendAtParityNoContention(t *testing.T) {
+	f := func(pairs []uint16, now uint16) bool {
+		cfg := arch.DefaultConfig()
+		a, b := New(&cfg), New(&cfg)
+		for i, p := range pairs {
+			from := int(p) % cfg.NumCores
+			to := int(p/16) % cfg.NumCores
+			var ha, hb int
+			var la, lb sim.Cycles
+			switch i % 3 {
+			case 0:
+				h, l := a.Send(from, to, 72)
+				ha, la = h, sim.Cycles(l)
+				hb, lb = b.SendAt(from, to, 72, sim.Cycles(now))
+			case 1:
+				h, l := a.SendCtrl(from, to)
+				ha, la = h, sim.Cycles(l)
+				hb, lb = b.SendCtrlAt(from, to, sim.Cycles(now))
+			default:
+				h, l := a.SendData(from, to)
+				ha, la = h, sim.Cycles(l)
+				hb, lb = b.SendDataAt(from, to, sim.Cycles(now))
+			}
+			if ha != hb || la != lb {
+				return false
+			}
+		}
+		if a.Messages() != b.Messages() || a.ByteHops() != b.ByteHops() ||
+			a.FlitHops() != b.FlitHops() || a.CtrlMessages() != b.CtrlMessages() ||
+			a.DataMessages() != b.DataMessages() || a.QueueingCycles() != b.QueueingCycles() {
+			return false
+		}
+		for tile := 0; tile < cfg.NumCores; tile++ {
+			for dir := 0; dir < 4; dir++ {
+				if a.LinkBytes(tile, dir) != b.LinkBytes(tile, dir) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnableContentionAfterTrafficPanics pins the fix for the silent
+// state-zeroing hazard: switching the model on mid-run must refuse
+// rather than restart the utilization estimate from empty links.
+func TestEnableContentionAfterTrafficPanics(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	n := New(&cfg)
+	n.Send(0, 1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("EnableContention after traffic did not panic")
+		}
+	}()
+	n.EnableContention(cfg.LinkBandwidthBytes)
 }
 
 func TestEnableContentionRejectsZeroBandwidth(t *testing.T) {

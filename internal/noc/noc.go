@@ -1,8 +1,9 @@
 // Package noc models the 2D-mesh network-on-chip of the tiled CMP:
-// dimension-ordered (XY) routing, per-hop router+link latency (Table I:
-// 1 cycle each), per-link byte counters, and the aggregate data-movement
-// metric of Fig. 12 (bytes transferred through all routers, computed as
-// payload bytes times hops traversed).
+// dimension-ordered (XY) routing, router+link latency (Table I: 1 cycle
+// each; an h-hop message crosses h+1 routers and h links), per-link byte
+// counters, and the aggregate data-movement metric of Fig. 12 (bytes
+// transferred through all routers, computed as payload bytes times hops
+// traversed).
 package noc
 
 import (
@@ -112,7 +113,9 @@ func (n *Network) Send(from, to, bytes int) (hops, latency int) {
 		hops++
 	}
 	n.byteHops += uint64(bytes) * uint64(hops)
-	n.flitHops += uint64(hops)
+	if hops > 0 {
+		n.flitHops += uint64(hops) + 1
+	}
 	return hops, n.cfg.HopLatency(hops)
 }
 
@@ -151,8 +154,10 @@ func (n *Network) direction(from, to int) int {
 // data-movement metric of Fig. 12.
 func (n *Network) ByteHops() uint64 { return n.byteHops }
 
-// FlitHops returns the total message-hops traversed (one per message per
-// hop), a proxy for router activations used by the energy model.
+// FlitHops returns the total router traversals: an h-hop message passes
+// h+1 routers (injection, intermediates, ejection), a zero-hop message
+// none. This is the router-activation count the energy model charges
+// RouterPerFlitNJ against, consistent with HopLatency's h+1-router cost.
 func (n *Network) FlitHops() uint64 { return n.flitHops }
 
 // Messages returns the total number of messages sent.

@@ -89,6 +89,35 @@ func TestSendAccounting(t *testing.T) {
 	}
 }
 
+// TestFlitHopsCountRouters pins the h+1-router model: an h-hop message
+// activates h+1 routers (injection, intermediates, ejection), and a
+// local message activates none.
+func TestFlitHopsCountRouters(t *testing.T) {
+	n, _ := mesh(t)
+	n.Send(5, 5, 64) // local: no routers
+	if n.FlitHops() != 0 {
+		t.Errorf("local send flitHops = %d, want 0", n.FlitHops())
+	}
+	n.Send(0, 3, 64) // 3 hops: 4 routers
+	if n.FlitHops() != 4 {
+		t.Errorf("3-hop send flitHops = %d, want 4", n.FlitHops())
+	}
+	n.Send(0, 15, 64) // 6 hops: 7 routers
+	if n.FlitHops() != 4+7 {
+		t.Errorf("after 6-hop send flitHops = %d, want 11", n.FlitHops())
+	}
+
+	// The contention path must count identically.
+	c, cfg := mesh(t)
+	c.EnableContention(cfg.LinkBandwidthBytes)
+	c.SendAt(5, 5, 64, 0)
+	c.SendAt(0, 3, 64, 0)
+	c.SendAt(0, 15, 64, 0)
+	if c.FlitHops() != n.FlitHops() {
+		t.Errorf("contended flitHops = %d, want %d", c.FlitHops(), n.FlitHops())
+	}
+}
+
 func TestCtrlAndDataSizes(t *testing.T) {
 	n, cfg := mesh(t)
 	n.SendCtrl(0, 1)
