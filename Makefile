@@ -10,12 +10,15 @@
 #   make bench       measure the simulator-core benchmarks and write the
 #                    machine-readable BENCH_simcore.json
 #   make bench-quick one iteration of every benchmark (compile + smoke)
+#   make trace-smoke one traced run through the experiments CLI: writes
+#                    and validates the Chrome trace + interval series and
+#                    checks the cycle stack sums to cores x makespan
 #   make golden      refresh the golden suite digests after an intentional
 #                    behavioral change
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-quick golden ci
+.PHONY: build test race vet lint bench bench-quick trace-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -51,7 +54,14 @@ bench:
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
+# End-to-end proof of the observability layer: the CLI validates the
+# written Chrome JSON (parse + slice count) and the cycle-stack sum
+# itself, exiting non-zero on any mismatch (DESIGN.md §10).
+trace-smoke:
+	$(GO) run ./cmd/tdnuca-experiments -trace LU -trace-out /tmp/tdnuca-trace-smoke.json \
+		-interval 5000 -factor 0.0078125
+
 golden:
 	$(GO) test ./internal/harness -run Golden -update
 
-ci: build lint test race bench-quick
+ci: build lint test race bench-quick trace-smoke

@@ -12,6 +12,15 @@
 //	tdnuca-experiments -check              # enable the coherence checker
 //	tdnuca-experiments -all -workers 4     # cap the worker pool (0 = one per CPU)
 //	tdnuca-experiments -digest             # print the suite's behavioral digest
+//	tdnuca-experiments -fig cyclestack     # per-run cycle-stack decomposition
+//	tdnuca-experiments -trace LU           # trace LU under TD-NUCA
+//	tdnuca-experiments -trace LU:S-NUCA -trace-out lu.json -interval 5000
+//
+// -trace runs one benchmark (optionally under a named policy, default
+// TD-NUCA) with the event tracer attached, writes a Perfetto-loadable
+// Chrome trace (-trace-out, default trace.json) plus <out>.intervals.csv
+// and <out>.intervals.json time series, validates the output, and prints
+// the run's cycle stack.
 //
 // Runs fan out across a worker pool (one worker per CPU by default);
 // results are bit-for-bit identical to -workers 1 because every run owns
@@ -59,6 +68,10 @@ func main() {
 		digest  = flag.Bool("digest", false, "print the suite's behavioral digest (for regression comparison)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		traceSpec = flag.String("trace", "", "trace one run: benchmark or benchmark:policy (default policy TD-NUCA)")
+		traceOut  = flag.String("trace-out", "trace.json", "Chrome trace output path for -trace")
+		interval  = flag.Uint64("interval", 0, "interval sample length in cycles for -trace (0 = default)")
 	)
 	flag.Parse()
 
@@ -75,7 +88,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Arch.CheckInvariants = *check
 
-	if !*all && *fig == "" && !*digest {
+	if *traceSpec != "" {
+		runTraced(cfg, *traceSpec, *traceOut, *interval)
+		if !*all && *fig == "" && !*digest {
+			return
+		}
+	}
+
+	if !*all && *fig == "" && !*digest && *traceSpec == "" {
 		flag.Usage()
 		exit(2)
 	}
@@ -93,7 +113,7 @@ func main() {
 	}
 
 	needSuite := *all || *digest
-	for _, f := range []string{"3", "8", "9", "10", "11", "12", "13", "14", "15", "occupancy", "flush"} {
+	for _, f := range []string{"3", "8", "9", "10", "11", "12", "13", "14", "15", "occupancy", "flush", "cyclestack"} {
 		if strings.EqualFold(*fig, f) {
 			needSuite = true
 		}
@@ -128,6 +148,7 @@ func main() {
 		{"10", tdnuca.Fig10}, {"11", tdnuca.Fig11}, {"12", tdnuca.Fig12},
 		{"13", tdnuca.Fig13}, {"14", tdnuca.Fig14}, {"15", tdnuca.Fig15},
 		{"occupancy", tdnuca.OccupancyTable}, {"flush", tdnuca.FlushOverheadTable},
+		{"cyclestack", tdnuca.CycleStackTable},
 	} {
 		if want(fe.name) {
 			fmt.Println(fe.gen(suite))

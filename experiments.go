@@ -3,6 +3,7 @@ package tdnuca
 import (
 	"tdnuca/internal/harness"
 	"tdnuca/internal/stats"
+	"tdnuca/internal/trace"
 	"tdnuca/internal/workloads"
 )
 
@@ -27,6 +28,31 @@ func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig()
 func RunBenchmark(bench string, kind PolicyKind, cfg ExperimentConfig) (Result, error) {
 	return harness.Run(bench, kind, cfg)
 }
+
+// TraceOptions sizes the event buffer and interval sampling of a traced
+// run; the zero value selects the defaults.
+type TraceOptions = trace.Options
+
+// TraceData is everything one traced run produced: the event stream, the
+// interval time series, the task slices and the cycle stack. Its
+// WriteChrome-compatible form is written by WriteChromeTrace.
+type TraceData = trace.Data
+
+// CycleStack decomposes a run's aggregate core-cycles (NumCores times
+// makespan) into compute, memory-system, NoC, DRAM, manager, runtime and
+// idle components; see Result.Stack.
+type CycleStack = trace.CycleStack
+
+// RunBenchmarkTraced is RunBenchmark with the event tracer attached.
+// Tracing is observation-only: the Result (and any digest over it) is
+// identical to an untraced run.
+func RunBenchmarkTraced(bench string, kind PolicyKind, cfg ExperimentConfig, topts TraceOptions) (Result, *TraceData, error) {
+	return harness.RunTraced(bench, kind, cfg, topts)
+}
+
+// WriteChromeTrace writes a traced run as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+var WriteChromeTrace = trace.WriteChrome
 
 // RunSuite executes all benchmarks under each policy, fanning runs out
 // across one worker per CPU. Results are bit-for-bit identical to the
@@ -96,4 +122,8 @@ var (
 	// (DESIGN.md §6) and of the replication cluster geometry.
 	AblationTable = harness.AblationTable
 	ClusterSweep  = harness.ClusterSweep
+
+	// CycleStackTable renders Result.Stack for every run of a Suite
+	// (DESIGN.md §10).
+	CycleStackTable = harness.CycleStackTable
 )

@@ -162,6 +162,11 @@ const (
 	// ComputePerBlockCycles is the synthetic compute charged by the
 	// workload sweep helpers per cache block processed.
 	ComputePerBlockCycles = 12
+
+	// TraceIntervalCycles is the default bucket length of the tracer's
+	// interval time series: 10k-cycle buckets give a few hundred samples
+	// per golden-scale benchmark run.
+	TraceIntervalCycles = 10_000
 )
 
 // ScaledConfig returns the scaled-down machine used by the default

@@ -4,6 +4,7 @@ import (
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 	"tdnuca/internal/vm"
 )
 
@@ -59,6 +60,9 @@ func (mg *Manager) tdnucaRegister(core int, e *DirEntry, mask arch.Mask) sim.Cyc
 		rrt.RemoveOverlapping(mg.pid, pr)
 		if rrt.Insert(mg.pid, pr, mask) {
 			cyc += sim.Cycles(mg.cfg.RRTLatency) // one RRT write per entry
+			if tr := mg.m.Tracer(); tr != nil {
+				tr.EmitUntimed(trace.EvRRTInsert, core, uint64(pr.Start), int32(rrt.Len()))
+			}
 		} else {
 			e.untracked = append(e.untracked, pr)
 			mg.stats.RegisterFailures++
@@ -75,10 +79,14 @@ func (mg *Manager) tdnucaInvalidate(execCore int, vr amath.Range, cores arch.Mas
 	vr = vr.InnerBlocks(mg.cfg.BlockBytes)
 	phys, cyc := mg.translate(execCore, vr)
 	for _, c := range cores.Bits() {
+		removed := 0
 		for _, pr := range phys {
-			mg.rrts[c].RemoveOverlapping(mg.pid, pr)
+			removed += mg.rrts[c].RemoveOverlapping(mg.pid, pr)
 		}
 		cyc += sim.Cycles(mg.cfg.RRTLatency)
+		if tr := mg.m.Tracer(); tr != nil {
+			tr.EmitUntimed(trace.EvRRTEvict, c, uint64(removed), int32(mg.rrts[c].Len()))
+		}
 	}
 	mg.stats.Invalidates++
 	return cyc

@@ -5,6 +5,7 @@ import (
 	"tdnuca/internal/machine"
 	"tdnuca/internal/sim"
 	"tdnuca/internal/taskrt"
+	"tdnuca/internal/trace"
 )
 
 // Variant selects which TD-NUCA design is simulated.
@@ -281,6 +282,9 @@ func (mg *Manager) TaskStarting(t *taskrt.Task, core int) sim.Cycles {
 			}
 		}
 		decs = append(decs, depDecision{dep: d, decision: dec})
+		if tr := mg.m.Tracer(); tr != nil {
+			tr.Emit(trace.EvDepDecision, t.StartedAt, core, uint64(t.ID), int32(dec))
+		}
 		if mg.DebugDecision != nil {
 			mg.DebugDecision(t, core, d, dec, e)
 		}

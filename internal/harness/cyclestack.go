@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"tdnuca/internal/stats"
+)
+
+// CycleStackTable renders the cycle-stack decomposition of every run in
+// the suite: one row per benchmark and policy, each component as a
+// percentage of NumCores*Makespan, plus the absolute total. The
+// percentages of a row sum to 100 because the stack's Total() equals the
+// aggregate core-cycles exactly.
+func CycleStackTable(s Suite) stats.Table {
+	t := stats.Table{
+		Title: "Cycle stacks: share of aggregate core-cycles per component",
+		Header: []string{"Bench", "Policy", "compute", "l1", "llc", "noc-hop",
+			"noc-queue", "dram", "rrt", "manager", "runtime", "idle", "total Mcyc"},
+	}
+	benches := make([]string, 0, len(s))
+	for b := range s {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		kinds := make([]PolicyKind, 0, len(s[b]))
+		for k := range s[b] {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			r := s[b][k]
+			total := r.Stack.Total()
+			cells := []string{b, string(k)}
+			for _, c := range r.Stack.Components() {
+				pct := 0.0
+				if total > 0 {
+					pct = 100 * float64(c.Cycles) / float64(total)
+				}
+				cells = append(cells, fmt.Sprintf("%5.1f%%", pct))
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", float64(total)/1e6))
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}

@@ -16,6 +16,7 @@ import (
 	"tdnuca/internal/rnuca"
 	"tdnuca/internal/sim"
 	"tdnuca/internal/taskrt"
+	"tdnuca/internal/trace"
 	"tdnuca/internal/workloads"
 )
 
@@ -85,6 +86,11 @@ type Result struct {
 	HookCost     sim.Cycles
 	CreationCost sim.Cycles
 
+	// Stack decomposes NumCores*Cycles into where the time went; its
+	// Total() equals that product exactly (asserted by tests). Filled
+	// identically whether or not tracing is attached.
+	Stack trace.CycleStack
+
 	FootprintBlocks uint64
 
 	// R-NUCA classification (only for RNUCA runs): unique touched blocks.
@@ -107,14 +113,32 @@ func (r Result) Speedup(base Result) float64 {
 
 // Run executes one benchmark under one policy and returns its Result.
 func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
+	r, _, err := run(bench, kind, cfg, nil)
+	return r, err
+}
+
+// RunTraced is Run with an event tracer attached: alongside the Result it
+// returns the trace.Data for the run (events, interval time series, task
+// slices, cycle stack). Tracing is observation-only, so the Result — and
+// therefore the suite digest — is byte-identical to an untraced Run.
+func RunTraced(bench string, kind PolicyKind, cfg Config, topts trace.Options) (Result, *trace.Data, error) {
+	res, d, err := run(bench, kind, cfg, trace.New(topts))
+	if err != nil {
+		return res, nil, err
+	}
+	return res, d, nil
+}
+
+func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer) (Result, *trace.Data, error) {
 	spec, ok := workloads.Get(bench, cfg.Factor)
 	if !ok {
-		return Result{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+		return Result{}, nil, fmt.Errorf("harness: unknown benchmark %q", bench)
 	}
 	m, err := machine.New(&cfg.Arch, cfg.FragEvery, cfg.Seed)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	m.SetTracer(tr)
 
 	var hooks taskrt.Hooks
 	var mgr *core.Manager
@@ -140,7 +164,7 @@ func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
 		m.SetPolicy(policy.NewSNUCA())
 		hooks = mgr
 	default:
-		return Result{}, fmt.Errorf("harness: unknown policy %q", kind)
+		return Result{}, nil, fmt.Errorf("harness: unknown policy %q", kind)
 	}
 
 	rt := taskrt.New(m, hooks, cfg.RT)
@@ -182,7 +206,53 @@ func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
 		res.RegisterFailures = mgr.Stats().RegisterFailures
 		res.ManagerStats = mgr.Stats()
 	}
-	return res, nil
+
+	// Cycle stack: the machine accumulated the memory-system components at
+	// the sites that built each access's latency; the runtime contributes
+	// compute, TDG construction and hook overhead; the remainder of
+	// NumCores*Makespan is scheduling idle time. Busy can never exceed the
+	// total: every charged cycle advanced some core's clock, and the
+	// makespan bounds every clock.
+	stack := m.CycleStack()
+	stack.Compute = rt.ComputeCost()
+	stack.Runtime = rt.CreationCost()
+	stack.Manager += rt.HookCost()
+	total := rt.Makespan() * sim.Cycles(cfg.Arch.NumCores)
+	if b := stack.Busy(); b > total {
+		// Cycles is unsigned, so a silent subtraction here would wrap and
+		// still "sum to total"; surface the accounting bug instead.
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("cycle stack busy %d exceeds %d cores * makespan %d",
+				b, cfg.Arch.NumCores, rt.Makespan()))
+	} else {
+		stack.Idle = total - b
+	}
+	res.Stack = stack
+
+	var data *trace.Data
+	if tr != nil {
+		data = &trace.Data{
+			Benchmark: bench,
+			Policy:    string(kind),
+			NumCores:  cfg.Arch.NumCores,
+			Total:     rt.Makespan(),
+			Interval:  tr.Interval(),
+			Stack:     stack,
+			Dropped:   tr.Dropped(),
+			Events:    tr.Events(),
+			Samples:   tr.Samples(),
+		}
+		for _, t := range rt.Tasks() {
+			if !t.Done() {
+				continue
+			}
+			data.Tasks = append(data.Tasks, trace.TaskSlice{
+				Name: t.Name, ID: t.ID, Core: t.Core,
+				Start: t.StartedAt, End: t.EndedAt,
+			})
+		}
+	}
+	return res, data, nil
 }
 
 // MustRun is Run but panics on error, for the CLIs and benchmarks.

@@ -4,6 +4,7 @@ import (
 	"tdnuca/internal/amath"
 	"tdnuca/internal/cache"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 )
 
 // Access simulates one memory access with an unspecified start time
@@ -36,7 +37,16 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 	pa := m.procAS(core).TranslateMRU(&m.trans[core], va).AlignDown(m.Cfg.BlockBytes)
 
 	lat += sim.Cycles(m.Cfg.L1Latency)
-	switch st := m.L1s[core].Access(pa); st {
+	m.cs.L1 += lat // translation + private-cache lookup, charged on every access
+	st := m.L1s[core].Access(pa)
+	if m.tr != nil {
+		if st.IsValid() {
+			m.tr.Emit(trace.EvL1Hit, now, core, uint64(pa), 0)
+		} else {
+			m.tr.Emit(trace.EvL1Miss, now, core, uint64(pa), 0)
+		}
+	}
+	switch st {
 	case cache.Modified:
 		m.met.L1Hits++
 		if write {
@@ -53,7 +63,9 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 			m.L1s[core].SetState(pa, cache.Modified)
 			m.goldenWrite(core, pa)
 			if m.writeObs != nil {
-				lat += m.writeObs.ObserveWrite(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
+				w := m.writeObs.ObserveWrite(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
+				lat += w
+				m.cs.Manager += w
 			}
 		} else {
 			m.verifyL1Read(core, pa)
@@ -72,9 +84,12 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 
 	// L1 miss.
 	m.met.L1Misses++
-	lat += m.policyLookup()
+	p := m.policyLookup()
+	lat += p
+	m.cs.RRT += p
 	pl, extra := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: write})
 	lat += extra
+	m.cs.Manager += extra
 
 	var fill cache.State
 	if pl.Kind == Bypass {
@@ -112,10 +127,16 @@ func (m *Machine) policyLookup() sim.Cycles {
 func (m *Machine) bypassFill(core int, pa amath.Addr, now sim.Cycles) sim.Cycles {
 	m.met.BypassAccesses++
 	mc := m.nearestMC[core]
-	_, reqLat := m.Net.SendCtrlAt(core, mc, now)
+	reqHops, reqLat := m.Net.SendCtrlAt(core, mc, now)
+	m.chargeNoC(reqHops, reqLat)
 	lat := reqLat + sim.Cycles(m.Cfg.DRAMLatency)
+	m.cs.DRAM += sim.Cycles(m.Cfg.DRAMLatency)
 	m.met.DRAMReads++
-	_, respLat := m.Net.SendDataAt(mc, core, now+lat)
+	if m.tr != nil {
+		m.tr.Emit(trace.EvDRAMRead, now+reqLat, core, uint64(pa), int32(mc))
+	}
+	respHops, respLat := m.Net.SendDataAt(mc, core, now+lat)
+	m.chargeNoC(respHops, respLat)
 	m.verifyFillFromMemory(core, pa)
 	return lat + respLat
 }
@@ -124,15 +145,20 @@ func (m *Machine) bypassFill(core int, pa amath.Addr, now sim.Cycles) sim.Cycles
 // actions for MESI, and returns the latency and the L1 fill state.
 func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now sim.Cycles) (sim.Cycles, cache.State) {
 	hops, reqLat := m.Net.SendCtrlAt(core, bank, now)
+	m.chargeNoC(hops, reqLat)
 	m.met.NUCADistSum += uint64(hops)
 	m.met.NUCADistCnt++
 	lat := reqLat + sim.Cycles(m.Cfg.LLCLatency)
+	m.cs.LLC += sim.Cycles(m.Cfg.LLCLatency)
 
 	b := m.Banks[bank]
 	m.met.LLCAccesses++
 	block := m.blockNum(pa)
 	if b.Cache.Access(pa).IsValid() {
 		m.met.LLCHits++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvLLCHit, now, core, uint64(pa), int32(bank))
+		}
 		e := b.dir.ref(block)
 		if write {
 			lat += m.invalidateCopies(bank, pa, e, core, now+lat)
@@ -141,7 +167,8 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 			// The LLC copy is now stale until the owner writes back; the
 			// directory owner field covers reads in the meantime.
 			m.verifyServeFromBank(core, bank, pa)
-			_, respLat := m.Net.SendDataAt(bank, core, now+lat)
+			respHops, respLat := m.Net.SendDataAt(bank, core, now+lat)
+			m.chargeNoC(respHops, respLat)
 			return lat + respLat, cache.Modified
 		}
 		// Read hit: if a core holds the block exclusively, forward.
@@ -163,7 +190,8 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 			e.sharers = e.sharers.Set(core)
 			m.verifyServeFromBank(core, bank, pa)
 		}
-		_, respLat := m.Net.SendDataAt(bank, core, now+lat)
+		respHops, respLat := m.Net.SendDataAt(bank, core, now+lat)
+		m.chargeNoC(respHops, respLat)
 		return lat + respLat, st
 	}
 
@@ -171,6 +199,9 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 	// entry is (re)initialized only after the fetch: fillBank's victim
 	// handling may delete other entries, which moves table slots.
 	m.met.LLCMisses++
+	if m.tr != nil {
+		m.tr.Emit(trace.EvLLCMiss, now, core, uint64(pa), int32(bank))
+	}
 	lat += m.memFetchToBank(bank, pa, now+lat)
 	st := cache.Exclusive
 	if write {
@@ -178,7 +209,8 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 	}
 	*b.dir.ref(block) = dirEntry{owner: core}
 	m.verifyServeFromBank(core, bank, pa)
-	_, respLat := m.Net.SendDataAt(bank, core, now+lat)
+	respHops, respLat := m.Net.SendDataAt(bank, core, now+lat)
+	m.chargeNoC(respHops, respLat)
 	return lat + respLat, st
 }
 
@@ -186,9 +218,14 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 // bank to invalidate all other copies and grant ownership.
 func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycles {
 	m.met.Upgrades++
+	if m.tr != nil {
+		m.tr.Emit(trace.EvDirUpgrade, now, core, uint64(pa), 0)
+	}
 	lat := m.policyLookup()
+	m.cs.RRT += lat
 	pl, extra := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
 	lat += extra
+	m.cs.Manager += extra
 	if pl.Kind == Bypass {
 		// The dependency is no longer LLC-mapped; the runtime guarantees
 		// exclusivity, so the local copy simply becomes Modified.
@@ -197,21 +234,29 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 	}
 	bank := m.ResolveBank(pl, pa)
 	hops, reqLat := m.Net.SendCtrlAt(core, bank, now+lat)
+	m.chargeNoC(hops, reqLat)
 	m.met.NUCADistSum += uint64(hops)
 	m.met.NUCADistCnt++
 	lat += reqLat + sim.Cycles(m.Cfg.LLCLatency)
+	m.cs.LLC += sim.Cycles(m.Cfg.LLCLatency)
 	m.met.LLCAccesses++
 
 	b := m.Banks[bank]
 	block := m.blockNum(pa)
 	if b.Cache.Probe(pa).IsValid() {
 		m.met.LLCHits++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvLLCHit, now, core, uint64(pa), int32(bank))
+		}
 	} else {
 		// Inclusion was broken by a placement change; treat as a miss and
 		// re-fetch the block into the bank. The directory reference is
 		// taken only after the fetch: fillBank's victim handling may
 		// delete other entries, which moves table slots.
 		m.met.LLCMisses++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvLLCMiss, now, core, uint64(pa), int32(bank))
+		}
 		lat += m.memFetchToBank(bank, pa, now+lat)
 	}
 	e := b.dir.ref(block)
@@ -224,13 +269,15 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 		// placement; refill it as a write miss so the store lands in an
 		// M line. The bank already holds current data at this point.
 		m.verifyServeFromBank(core, bank, pa)
-		_, dataLat := m.Net.SendDataAt(bank, core, now+lat)
+		dataHops, dataLat := m.Net.SendDataAt(bank, core, now+lat)
+		m.chargeNoC(dataHops, dataLat)
 		lat += dataLat
 		m.insertL1(core, pa, cache.Modified, now+lat)
 		return lat
 	}
 	// Ownership grant: control response back to the core.
-	_, ackLat := m.Net.SendCtrlAt(bank, core, now+lat)
+	ackHops, ackLat := m.Net.SendCtrlAt(bank, core, now+lat)
+	m.chargeNoC(ackHops, ackLat)
 	return lat + ackLat
 }
 
@@ -257,12 +304,18 @@ func (m *Machine) insertL1(core int, pa amath.Addr, st cache.State, now sim.Cycl
 // occupies links under the contention model.
 func (m *Machine) writebackFromL1(core int, pa amath.Addr, now sim.Cycles) {
 	m.met.L1Writebacks++
+	if m.tr != nil {
+		m.tr.Emit(trace.EvL1Writeback, now, core, uint64(pa), 0)
+	}
 	m.policyLookup() // RRT consulted on writebacks; latency is off the critical path
 	pl, _ := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], PA: pa, Write: true, Writeback: true})
 	if pl.Kind == Bypass {
 		mc := m.nearestMC[core]
 		m.Net.SendDataAt(core, mc, now)
 		m.met.DRAMWrites++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvDRAMWrite, now, core, uint64(pa), int32(mc))
+		}
 		m.verifyWritebackToMemory(core, pa)
 		m.verifyL1Drop(core, pa)
 		return

@@ -13,6 +13,7 @@ import (
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
 	"tdnuca/internal/cache"
+	"tdnuca/internal/trace"
 	"tdnuca/internal/vm"
 )
 
@@ -66,6 +67,23 @@ func TestLLCHitPathAllocFree(t *testing.T) {
 
 	if n := testing.AllocsPerRun(10, sweep); n != 0 {
 		t.Errorf("LLC hit sweep allocates %v allocs/run, want 0", n)
+	}
+}
+
+// TestTracedAccessPathAllocFree pins the tracing-on emission path: once
+// the event buffer and the run's interval buckets exist, Emit is an
+// indexed store plus counter updates, so a warm traced access allocates
+// nothing. (The buffer itself and bucket growth are setup-time costs.)
+func TestTracedAccessPathAllocFree(t *testing.T) {
+	m := benchMachine(t)
+	m.SetTracer(trace.New(trace.Options{Capacity: 1 << 16}))
+	const va = amath.Addr(0x10000)
+	m.Access(0, va, true) // warm caches and create the cycle-0 bucket
+
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Access(0, va, false)
+	}); n != 0 {
+		t.Errorf("traced L1 read hit allocates %v allocs/op, want 0", n)
 	}
 }
 
@@ -183,11 +201,13 @@ func TestHotpathAnnotationSet(t *testing.T) {
 		"machine.(*Machine).AccessAt",
 		"machine.(*dirTable).get",
 		"machine.(*dirTable).ref",
+		"trace.(*Tracer).Emit",
+		"trace.(*Tracer).EmitUntimed",
 		"vm.(*AddressSpace).TranslateMRU",
 		"vm.(*TLB).Access",
 	}
 	var got []string
-	for _, dir := range []string{".", "../cache", "../vm"} {
+	for _, dir := range []string{".", "../cache", "../trace", "../vm"} {
 		got = append(got, hotpathAnnotations(t, dir)...)
 	}
 	sort.Strings(got)

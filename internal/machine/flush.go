@@ -4,6 +4,7 @@ import (
 	"tdnuca/internal/amath"
 	"tdnuca/internal/cache"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 )
 
 // Flush cost model: a hardware flush engine walks whichever is smaller —
@@ -59,6 +60,9 @@ func (m *Machine) FlushL1Range(core int, r amath.Range) (sim.Cycles, int) {
 	}
 	m.met.FlushedBlocks += uint64(n)
 	m.met.FlushCycles += lat
+	if m.tr != nil {
+		m.tr.EmitUntimed(trace.EvFlushOp, core, uint64(n), 0)
+	}
 	return lat, n
 }
 
@@ -163,6 +167,9 @@ func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
 	}
 	m.met.FlushedBlocks += uint64(n)
 	m.met.FlushCycles += lat
+	if m.tr != nil {
+		m.tr.EmitUntimed(trace.EvFlushOp, bank, uint64(n), 1)
+	}
 	return lat, n
 }
 

@@ -17,6 +17,7 @@ import (
 	"tdnuca/internal/energy"
 	"tdnuca/internal/noc"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 	"tdnuca/internal/vm"
 )
 
@@ -177,6 +178,15 @@ type Machine struct {
 	met      Metrics
 	ver      *verifier
 
+	// tr is the attached event tracer (nil = tracing off, the zero-cost
+	// state). cs is the machine's share of the cycle stack: every cycle
+	// AccessAt returns is attributed to exactly one component at the
+	// site that adds it, so the components sum to the total access
+	// latency. cs is always on — plain counter adds, no allocation — so
+	// digests cannot depend on whether a tracer is attached.
+	tr *trace.Tracer
+	cs trace.CycleStack
+
 	// Coherence-trace state (SetWatchBlock). Per machine so concurrent
 	// runs cannot race on it.
 	watchBlock amath.Addr
@@ -248,6 +258,34 @@ func (m *Machine) SetPolicy(p Policy) {
 
 // Policy returns the attached policy.
 func (m *Machine) Policy() Policy { return m.policy }
+
+// SetTracer attaches an event tracer to the machine and its NoC (nil
+// detaches). Tracing is observation-only: it changes no latency, no
+// counter and no digest, which TestTracingDigestNeutral pins.
+func (m *Machine) SetTracer(tr *trace.Tracer) {
+	m.tr = tr
+	m.Net.SetTracer(tr)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off), letting
+// policies and runtimes emit into the same event stream.
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
+
+// CycleStack returns the machine's share of the run's cycle stack: the
+// decomposition of every AccessAt latency into L1 (translation +
+// private-cache lookup), LLC, NoC (topological vs. queueing), DRAM, RRT
+// and Manager components. The harness adds the runtime-side components
+// (compute, creation, hooks) and the idle remainder.
+func (m *Machine) CycleStack() trace.CycleStack { return m.cs }
+
+// chargeNoC attributes one critical-path NoC traversal to the cycle
+// stack: the topological part (routers + links at unloaded latency) to
+// NoCHop, anything the contention model added to NoCQueue.
+func (m *Machine) chargeNoC(hops int, lat sim.Cycles) {
+	topo := sim.Cycles(m.Cfg.HopLatency(hops))
+	m.cs.NoCHop += topo
+	m.cs.NoCQueue += lat - topo
+}
 
 // Metrics returns a snapshot of the machine's counters.
 func (m *Machine) Metrics() Metrics { return m.met }

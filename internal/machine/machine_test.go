@@ -558,3 +558,48 @@ func TestDeterminism(t *testing.T) {
 		t.Error("identical runs produced different metrics")
 	}
 }
+
+// TestCycleStackDecomposesAccessLatency pins the cycle-stack accounting
+// at its source: the machine's stack components must sum to exactly the
+// total latency AccessAt returned, across a mix that exercises L1 hits,
+// bank fills, bypasses, local-bank placement, upgrades, invalidations and
+// owner forwards. Any charge site that double-counts or misses a
+// component breaks the harness's whole-run sum, and this catches it at
+// the machine boundary.
+func TestCycleStackDecomposesAccessLatency(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	cfg.NoCContention = true // queueing must land in NoCQueue, not vanish
+	m := MustNew(&cfg, 4, 7)
+	m.SetPolicy(&staticPolicy{
+		bypassRange: amath.NewRange(0, 16<<10),
+		localRange:  amath.NewRange(16<<10, 16<<10),
+		penalty:     2,
+	})
+
+	var total sim.Cycles
+	var now sim.Cycles
+	for i := 0; i < 5000; i++ {
+		core := i % m.Cfg.NumCores
+		addr := amath.Addr((i*53)%1024) * 64
+		write := i%4 == 0
+		lat := m.AccessAt(core, addr, write, now)
+		total += lat
+		now += lat / 4 // advancing start times exercises the queueing model
+	}
+	checkClean(t, m)
+
+	cs := m.CycleStack()
+	if got := cs.Busy(); got != total {
+		t.Errorf("cycle stack busy = %d, want sum of AccessAt latencies %d (diff %d)",
+			got, total, int64(got)-int64(total))
+	}
+	for _, c := range []struct {
+		name string
+		v    sim.Cycles
+	}{{"l1", cs.L1}, {"llc", cs.LLC}, {"noc-hop", cs.NoCHop}, {"dram", cs.DRAM}, {"rrt", cs.RRT}} {
+		if c.v == 0 {
+			t.Errorf("component %s never charged; the mix should exercise it", c.name)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package noc
 
-import "tdnuca/internal/sim"
+import (
+	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
+)
 
 // Queueing contention model (optional, arch.Config.NoCContention): every
 // directed link serializes a message's payload at the configured
@@ -130,6 +133,9 @@ func (n *Network) SendAt(from, to, bytes int, now sim.Cycles) (hops int, latency
 		n.flitHops += uint64(hops) + 1
 	}
 	n.byteHops += uint64(bytes) * uint64(hops)
+	if n.tr != nil {
+		n.tr.Emit(trace.EvNoCMsg, now, from, uint64(bytes)*uint64(hops), int32(to))
+	}
 	return hops, t - now
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"tdnuca/internal/arch"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 )
 
 // Network is the mesh interconnect. It is purely an accounting and
@@ -36,7 +37,15 @@ type Network struct {
 	bwBytes    int
 	links      [][4]linkState
 	queued     sim.Cycles
+
+	// tr, when non-nil, receives one EvNoCMsg per routed message
+	// (observation only; never alters routing or latency).
+	tr *trace.Tracer
 }
+
+// SetTracer attaches (or with nil detaches) an event tracer. Tracing is
+// observation-only: it never changes a counter or a latency.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tr = tr }
 
 // Directions of mesh links, used to index per-link counters.
 const (
@@ -115,6 +124,9 @@ func (n *Network) Send(from, to, bytes int) (hops, latency int) {
 	n.byteHops += uint64(bytes) * uint64(hops)
 	if hops > 0 {
 		n.flitHops += uint64(hops) + 1
+	}
+	if n.tr != nil {
+		n.tr.EmitUntimed(trace.EvNoCMsg, from, uint64(bytes)*uint64(hops), int32(to))
 	}
 	return hops, n.cfg.HopLatency(hops)
 }

@@ -7,6 +7,7 @@ import (
 	"tdnuca/internal/arch"
 	"tdnuca/internal/machine"
 	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
 )
 
 // Hooks is how a NUCA policy participates in the runtime's operational
@@ -85,7 +86,12 @@ type Runtime struct {
 	makespan      sim.Cycles
 	creationCost  sim.Cycles
 	hookCost      sim.Cycles
+	computeCost   sim.Cycles
 	executedTasks int
+
+	// tr mirrors the machine's tracer (captured at construction) so task
+	// lifecycle events land in the same buffer as memory-system events.
+	tr *trace.Tracer
 }
 
 // New creates a runtime on the given machine. hooks may be nil (NopHooks).
@@ -107,6 +113,7 @@ func New(m *machine.Machine, hooks Hooks, opts Options) *Runtime {
 		reg:      newDepRegistry(),
 		coreFree: make([]sim.Cycles, m.Cfg.NumCores),
 		cores:    cores,
+		tr:       m.Tracer(),
 	}
 }
 
@@ -131,10 +138,16 @@ func (rt *Runtime) Spawn(name string, deps []Dep, body BodyFn) *Task {
 	rt.reg.insertTask(t)
 	rt.hooks.TaskCreated(t)
 	rt.pending++
+	if rt.tr != nil {
+		rt.tr.Emit(trace.EvTaskCreate, t.CreatedAt, creator, uint64(t.ID), int32(len(deps)))
+	}
 	if t.unsatisfied == 0 {
 		t.state = taskReady
 		t.ReadyAt = t.CreatedAt
 		rt.ready = append(rt.ready, t)
+		if rt.tr != nil {
+			rt.tr.Emit(trace.EvTaskReady, t.ReadyAt, creator, uint64(t.ID), 0)
+		}
 	}
 	return t
 }
@@ -232,6 +245,9 @@ func (rt *Runtime) run(t *Task, core int, start sim.Cycles) {
 	t.state = taskRunning
 	t.Core = core
 	t.StartedAt = start
+	if rt.tr != nil {
+		rt.tr.Emit(trace.EvTaskStart, start, core, uint64(t.ID), 0)
+	}
 
 	clock := start
 	h := rt.hooks.TaskStarting(t, core)
@@ -253,12 +269,18 @@ func (rt *Runtime) run(t *Task, core int, start sim.Cycles) {
 	rt.coreFree[core] = clock
 	rt.pending--
 	rt.executedTasks++
+	if rt.tr != nil {
+		rt.tr.Emit(trace.EvTaskEnd, clock, core, uint64(t.ID), 0)
+	}
 	for _, s := range t.succs {
 		s.unsatisfied--
 		if s.unsatisfied == 0 && s.state == taskCreated {
 			s.state = taskReady
 			s.ReadyAt = sim.Max(clock, s.CreatedAt)
 			rt.ready = append(rt.ready, s)
+			if rt.tr != nil {
+				rt.tr.Emit(trace.EvTaskReady, s.ReadyAt, core, uint64(s.ID), 0)
+			}
 		}
 	}
 }
@@ -272,6 +294,10 @@ func (rt *Runtime) CreationCost() sim.Cycles { return rt.creationCost }
 // HookCost returns the cycles spent in policy hooks (the runtime-system
 // extension overhead measured in Sec. V-E).
 func (rt *Runtime) HookCost() sim.Cycles { return rt.hookCost }
+
+// ComputeCost returns the cycles task bodies spent in pure compute
+// (Exec.Compute, including the Sweep helpers' per-block charge).
+func (rt *Runtime) ComputeCost() sim.Cycles { return rt.computeCost }
 
 // ExecutedTasks returns how many tasks have run to completion.
 func (rt *Runtime) ExecutedTasks() int { return rt.executedTasks }
@@ -300,7 +326,10 @@ func (e *Exec) Read(va amath.Addr) { e.clock += e.rt.M.AccessAt(e.core, va, fals
 func (e *Exec) Write(va amath.Addr) { e.clock += e.rt.M.AccessAt(e.core, va, true, e.clock) }
 
 // Compute advances the clock by pure-compute cycles.
-func (e *Exec) Compute(c sim.Cycles) { e.clock += c }
+func (e *Exec) Compute(c sim.Cycles) {
+	e.clock += c
+	e.rt.computeCost += c
+}
 
 // SweepRead streams through the range reading one word per cache block
 // and charging the per-block compute cost.

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the run rendered in the Trace Event Format
+// that Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+// One timeline track per core carries the task slices; counter tracks
+// carry the NoC, DRAM, miss and RRT-occupancy time series from the
+// interval samples. Timestamps are simulated cycles written into the
+// format's microsecond field — absolute wall time is meaningless for a
+// simulator, so one displayed microsecond is one simulated cycle.
+
+// chromeEvent is one entry of the traceEvents array. Field meanings per
+// the Trace Event Format: ph "X" = complete slice (ts+dur), "C" =
+// counter sample, "M" = metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// chromePid is the single synthetic process all tracks live under.
+const chromePid = 1
+
+// counterTid is the tid counter tracks are attached to; Perfetto groups
+// counters by (pid, name), so the value is cosmetic but must be stable.
+const counterTid = 0
+
+// WriteChrome writes the run as Chrome trace_event JSON.
+func WriteChrome(w io.Writer, d *Data) error {
+	evs := make([]chromeEvent, 0, 2+d.NumCores+len(d.Tasks)+6*len(d.Samples))
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": fmt.Sprintf("tdnuca %s / %s", d.Benchmark, d.Policy)},
+	})
+	for core := 0; core < d.NumCores; core++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: core + 1,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", core)},
+		})
+	}
+	for _, t := range d.Tasks {
+		dur := uint64(t.End - t.Start)
+		if dur == 0 {
+			// Zero-duration slices render invisibly; clamp to one cycle.
+			dur = 1
+		}
+		evs = append(evs, chromeEvent{
+			Name: t.Name, Cat: "task", Ph: "X",
+			Ts: uint64(t.Start), Dur: dur,
+			Pid: chromePid, Tid: t.Core + 1,
+			Args: map[string]any{"task_id": t.ID},
+		})
+	}
+	counter := func(name, key string, ts uint64, v any) chromeEvent {
+		return chromeEvent{
+			Name: name, Ph: "C", Ts: ts, Pid: chromePid, Tid: counterTid,
+			Args: map[string]any{key: v},
+		}
+	}
+	for _, s := range d.Samples {
+		ts := uint64(s.Start)
+		evs = append(evs,
+			counter("NoC byte-hops", "byte-hops", ts, s.ByteHops),
+			counter("DRAM accesses", "accesses", ts, s.DRAMAccesses),
+			counter("L1 misses", "misses", ts, s.L1Misses),
+			counter("LLC misses", "misses", ts, s.LLCMisses),
+			counter("RRT occupancy", "entries", ts, s.RRTOccupancy),
+		)
+	}
+	other := map[string]any{
+		"benchmark":      d.Benchmark,
+		"policy":         d.Policy,
+		"total_cycles":   uint64(d.Total),
+		"interval":       uint64(d.Interval),
+		"dropped_events": d.Dropped,
+	}
+	for _, c := range d.Stack.Components() {
+		other["stack_"+c.Name] = uint64(c.Cycles)
+	}
+	return json.NewEncoder(w).Encode(chromeTrace{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData:       other,
+	})
+}

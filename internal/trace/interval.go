@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tdnuca/internal/sim"
+)
+
+// IntervalSample is one bucket of the per-N-cycle time series. Counter
+// fields are event counts within the bucket; RRTOccupancy is a level
+// (the last observed total occupancy, carried forward through quiet
+// buckets).
+type IntervalSample struct {
+	Start        sim.Cycles `json:"start_cycle"`
+	L1Hits       uint64     `json:"l1_hits"`
+	L1Misses     uint64     `json:"l1_misses"`
+	LLCHits      uint64     `json:"llc_hits"`
+	LLCMisses    uint64     `json:"llc_misses"`
+	ByteHops     uint64     `json:"byte_hops"`
+	DRAMAccesses uint64     `json:"dram_accesses"`
+	RRTOccupancy int        `json:"rrt_occupancy"`
+
+	rrtSampled bool
+}
+
+// TaskSlice is one executed task's timeline entry, the source of the
+// Chrome per-core tracks.
+type TaskSlice struct {
+	Name  string     `json:"name"`
+	ID    int        `json:"id"`
+	Core  int        `json:"core"`
+	Start sim.Cycles `json:"start"`
+	End   sim.Cycles `json:"end"`
+}
+
+// Data is everything one traced run produced, assembled by the harness
+// after the run finishes (schemas in EXPERIMENTS.md).
+type Data struct {
+	Benchmark string     `json:"benchmark"`
+	Policy    string     `json:"policy"`
+	NumCores  int        `json:"num_cores"`
+	Total     sim.Cycles `json:"total_cycles"` // makespan
+	Interval  sim.Cycles `json:"interval"`
+	Stack     CycleStack `json:"cycle_stack"`
+	Dropped   uint64     `json:"dropped_events"`
+
+	Events  []Event          `json:"-"`
+	Samples []IntervalSample `json:"samples"`
+	Tasks   []TaskSlice      `json:"-"`
+}
+
+// intervalHeader is the CSV column order, matching IntervalSample's
+// JSON field names.
+var intervalHeader = []string{
+	"start_cycle", "l1_hits", "l1_misses", "llc_hits", "llc_misses",
+	"byte_hops", "dram_accesses", "rrt_occupancy",
+}
+
+// WriteIntervalsCSV writes the interval time series as CSV, one row per
+// bucket (schema in EXPERIMENTS.md).
+func (d *Data) WriteIntervalsCSV(w io.Writer) error {
+	for i, h := range intervalHeader {
+		sep := ","
+		if i == len(intervalHeader)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", h, sep); err != nil {
+			return err
+		}
+	}
+	for _, s := range d.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Start, s.L1Hits, s.L1Misses, s.LLCHits, s.LLCMisses,
+			s.ByteHops, s.DRAMAccesses, s.RRTOccupancy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIntervalsJSON writes the run header, cycle stack and interval
+// time series as one JSON document (schema in EXPERIMENTS.md).
+func (d *Data) WriteIntervalsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,246 @@
+// Package trace is the machine-attached observability layer: an opt-in,
+// preallocated buffer of typed simulation events, per-interval time
+// series of the core counters, per-run cycle stacks, and exporters
+// (Chrome trace_event JSON for Perfetto, CSV/JSON for the interval
+// series). Everything here is observation-only — attaching a Tracer must
+// not perturb a single simulated cycle or counter, which the harness
+// proves by digest equality with tracing on and off — and the off state
+// is a nil *Tracer, so the hot paths pay one predictable branch and zero
+// allocations when tracing is disabled (DESIGN.md §10).
+package trace
+
+import (
+	"tdnuca/internal/arch"
+	"tdnuca/internal/sim"
+)
+
+// Kind identifies the type of one traced event. The Arg/Aux payload
+// meaning depends on the kind; see the constants.
+type Kind uint8
+
+const (
+	// EvTaskCreate: a task entered the TDG. Core = creator, Arg = task ID.
+	EvTaskCreate Kind = iota
+	// EvTaskReady: a task's dependencies were satisfied. Arg = task ID.
+	EvTaskReady
+	// EvTaskStart: a task body began. Core = executing core, Arg = task ID.
+	EvTaskStart
+	// EvTaskEnd: a task completed (hooks included). Arg = task ID.
+	EvTaskEnd
+	// EvDepDecision: the manager classified one dependency of a starting
+	// task (Fig. 7). Arg = task ID, Aux = the core.Decision value.
+	EvDepDecision
+	// EvRRTInsert: an RRT entry was registered. Core = the RRT's core,
+	// Arg = the region's base physical address, Aux = occupancy after.
+	EvRRTInsert
+	// EvRRTEvict: RRT entries were invalidated. Core = the RRT's core,
+	// Arg = entries removed, Aux = occupancy after.
+	EvRRTEvict
+	// EvL1Hit / EvL1Miss: a demand access hit or missed the private
+	// cache. Core = requester, Arg = physical block address.
+	EvL1Hit
+	EvL1Miss
+	// EvL1Writeback: a dirty L1 victim left a private cache. Core =
+	// victim's core, Arg = physical block address.
+	EvL1Writeback
+	// EvLLCHit / EvLLCMiss: a demand request hit or missed its LLC bank.
+	// Core = requester, Arg = physical block address, Aux = bank.
+	EvLLCHit
+	EvLLCMiss
+	// EvLLCEvict: an LLC victim (with its back-invalidations) was evicted.
+	// Core = bank, Arg = victim physical block address.
+	EvLLCEvict
+	// EvDirUpgrade: a Shared line was upgraded to Modified (S->M write).
+	// Core = writer, Arg = physical block address.
+	EvDirUpgrade
+	// EvDirInval: one L1 copy was invalidated by coherence. Core = the
+	// invalidated core, Arg = physical block address, Aux = home bank.
+	EvDirInval
+	// EvDirForward: a read was satisfied by forwarding from the exclusive
+	// owner. Core = owner, Arg = physical block address, Aux = bank.
+	EvDirForward
+	// EvNoCMsg: a message crossed the mesh. Core = source tile,
+	// Arg = payload bytes times hops (the Fig. 12 metric), Aux = dest.
+	EvNoCMsg
+	// EvDRAMRead / EvDRAMWrite: a memory-controller DRAM access.
+	// Core = the tile that triggered it, Arg = physical block address.
+	EvDRAMRead
+	EvDRAMWrite
+	// EvFlushOp: one FlushL1Range/FlushBankRange operation completed.
+	// Core = target tile, Arg = blocks flushed, Aux = 0 for L1, 1 for LLC.
+	EvFlushOp
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"task-create", "task-ready", "task-start", "task-end",
+	"dep-decision", "rrt-insert", "rrt-evict",
+	"l1-hit", "l1-miss", "l1-writeback",
+	"llc-hit", "llc-miss", "llc-evict",
+	"dir-upgrade", "dir-inval", "dir-forward",
+	"noc-msg", "dram-read", "dram-write", "flush-op",
+}
+
+// String names the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Event is one traced simulation event. The struct is fixed-size and
+// value-typed so the tracer's buffer is a single flat allocation.
+type Event struct {
+	Cycle sim.Cycles
+	Arg   uint64
+	Aux   int32
+	Core  int16
+	Kind  Kind
+}
+
+// Options sizes a Tracer.
+type Options struct {
+	// Capacity is the maximum number of buffered events; once full,
+	// further events are counted in Dropped but not stored (the interval
+	// series keeps accumulating regardless). 0 means DefaultCapacity.
+	Capacity int
+	// Interval is the bucket length, in cycles, of the interval time
+	// series. 0 means DefaultInterval.
+	Interval sim.Cycles
+}
+
+// Default sizing: 1M events (32 MB); chattier runs keep counting in
+// Dropped while the interval series stays complete. The interval length
+// lives in internal/arch with the other cost constants.
+const (
+	DefaultCapacity = 1 << 20
+	DefaultInterval = sim.Cycles(arch.TraceIntervalCycles)
+)
+
+// Tracer collects events and interval samples for one run. A nil Tracer
+// is the disabled state: every emission site guards with `if tr != nil`,
+// so the cost of tracing-off is one branch and no allocation.
+//
+// The Tracer is not safe for concurrent use, matching the machine it
+// observes (the simulation is single-threaded by design).
+type Tracer struct {
+	events  []Event
+	n       int
+	dropped uint64
+
+	interval sim.Cycles
+	buckets  []IntervalSample
+
+	// now is the cycle stamp of the most recent timed emission. Events
+	// from untimed paths (background writebacks, back-invalidations,
+	// flush drains — modeled off the critical path, so no cycle reaches
+	// their call sites) are stamped with it as the best deterministic
+	// approximation; DESIGN.md §10 discusses the trade-off.
+	now sim.Cycles
+}
+
+// New creates a Tracer. The event buffer is fully preallocated here so
+// the emission path never grows it.
+func New(o Options) *Tracer {
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	return &Tracer{
+		events:   make([]Event, o.Capacity),
+		interval: o.Interval,
+		buckets:  make([]IntervalSample, 1),
+	}
+}
+
+// Emit records one event at the given cycle. It is safe on the access
+// hot path: a bounds check, an indexed store into the preallocated
+// buffer, and the interval-counter update.
+//
+//tdnuca:hotpath
+func (t *Tracer) Emit(k Kind, cycle sim.Cycles, core int, arg uint64, aux int32) {
+	t.now = cycle
+	if t.n < len(t.events) {
+		t.events[t.n] = Event{Cycle: cycle, Arg: arg, Aux: aux, Core: int16(core), Kind: k}
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.count(k, cycle, arg, aux)
+}
+
+// EmitUntimed records an event from a path that has no cycle stamp
+// (background traffic modeled off the critical path), using the most
+// recent timed cycle.
+//
+//tdnuca:hotpath
+func (t *Tracer) EmitUntimed(k Kind, core int, arg uint64, aux int32) {
+	cycle := t.now
+	if t.n < len(t.events) {
+		t.events[t.n] = Event{Cycle: cycle, Arg: arg, Aux: aux, Core: int16(core), Kind: k}
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.count(k, cycle, arg, aux)
+}
+
+// count folds the event into its interval bucket. Independent of the
+// event buffer: the time series stays complete even after the buffer
+// fills and events are dropped.
+func (t *Tracer) count(k Kind, cycle sim.Cycles, arg uint64, aux int32) {
+	idx := int(cycle / t.interval)
+	for idx >= len(t.buckets) {
+		//tdnuca:allow(alloc) interval buckets grow only while a tracer is attached; with tracing off the hot path never reaches this (nil-tracer guard at every emission site)
+		t.buckets = append(t.buckets, IntervalSample{})
+	}
+	b := &t.buckets[idx]
+	switch k {
+	case EvL1Hit:
+		b.L1Hits++
+	case EvL1Miss:
+		b.L1Misses++
+	case EvLLCHit:
+		b.LLCHits++
+	case EvLLCMiss:
+		b.LLCMisses++
+	case EvNoCMsg:
+		b.ByteHops += arg
+	case EvDRAMRead, EvDRAMWrite:
+		b.DRAMAccesses++
+	case EvRRTInsert, EvRRTEvict:
+		b.RRTOccupancy = int(aux)
+		b.rrtSampled = true
+	}
+}
+
+// Events returns the buffered events in emission order.
+func (t *Tracer) Events() []Event { return t.events[:t.n] }
+
+// Dropped returns how many events did not fit in the buffer.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Interval returns the bucket length of the interval series.
+func (t *Tracer) Interval() sim.Cycles { return t.interval }
+
+// Samples finalizes and returns the interval time series: bucket start
+// cycles are filled in and the RRT occupancy level is carried forward
+// through buckets without RRT activity (it is a level, not a rate).
+func (t *Tracer) Samples() []IntervalSample {
+	out := make([]IntervalSample, len(t.buckets))
+	copy(out, t.buckets)
+	occ := 0
+	for i := range out {
+		out[i].Start = sim.Cycles(i) * t.interval
+		if out[i].rrtSampled {
+			occ = out[i].RRTOccupancy
+		} else {
+			out[i].RRTOccupancy = occ
+		}
+	}
+	return out
+}

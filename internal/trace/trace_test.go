@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tdnuca/internal/sim"
+)
+
+func TestBufferFillAndDrop(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	for i := 0; i < 7; i++ {
+		tr.Emit(EvL1Hit, sim.Cycles(i), i, uint64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("buffered %d events, want 4", len(evs))
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	}
+	for i, e := range evs {
+		if e.Cycle != sim.Cycles(i) || e.Core != int16(i) || e.Kind != EvL1Hit {
+			t.Errorf("event %d = %+v, want cycle/core %d", i, e, i)
+		}
+	}
+	// Dropped events still reach the interval series.
+	var hits uint64
+	for _, s := range tr.Samples() {
+		hits += s.L1Hits
+	}
+	if hits != 7 {
+		t.Errorf("interval series counted %d L1 hits, want all 7", hits)
+	}
+}
+
+func TestIntervalBucketingAndForwardFill(t *testing.T) {
+	tr := New(Options{Interval: 100})
+	tr.Emit(EvL1Miss, 10, 0, 0, 0)
+	tr.Emit(EvRRTInsert, 50, 0, 0x1000, 3) // occupancy 3 in bucket 0
+	tr.Emit(EvNoCMsg, 150, 0, 640, 1)      // byte-hops in bucket 1
+	tr.Emit(EvDRAMRead, 420, 0, 0, 0)      // bucket 4; buckets 2-3 quiet
+	tr.Emit(EvRRTEvict, 430, 0, 2, 1)      // occupancy drops to 1
+
+	s := tr.Samples()
+	if len(s) != 5 {
+		t.Fatalf("%d samples, want 5", len(s))
+	}
+	for i, want := range []sim.Cycles{0, 100, 200, 300, 400} {
+		if s[i].Start != want {
+			t.Errorf("sample %d start = %d, want %d", i, s[i].Start, want)
+		}
+	}
+	if s[0].L1Misses != 1 || s[1].ByteHops != 640 || s[4].DRAMAccesses != 1 {
+		t.Errorf("bucket counters wrong: %+v", s)
+	}
+	// RRT occupancy is a level: sampled 3 in bucket 0, carried through the
+	// quiet buckets, then 1 from bucket 4 on.
+	for i, want := range []int{3, 3, 3, 3, 1} {
+		if s[i].RRTOccupancy != want {
+			t.Errorf("sample %d RRT occupancy = %d, want %d", i, s[i].RRTOccupancy, want)
+		}
+	}
+}
+
+func TestEmitUntimedUsesLastTimedCycle(t *testing.T) {
+	tr := New(Options{})
+	tr.Emit(EvL1Miss, 777, 0, 0, 0)
+	tr.EmitUntimed(EvDRAMWrite, 3, 0xbeef, 0)
+	evs := tr.Events()
+	if evs[1].Cycle != 777 {
+		t.Errorf("untimed event stamped %d, want last timed cycle 777", evs[1].Cycle)
+	}
+	if evs[1].Core != 3 || evs[1].Kind != EvDRAMWrite {
+		t.Errorf("untimed event = %+v", evs[1])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s == "kind(?)" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "kind(?)" {
+		t.Error("out-of-range kind should print kind(?)")
+	}
+}
+
+func TestCycleStackComponents(t *testing.T) {
+	s := CycleStack{Compute: 1, L1: 2, LLC: 3, NoCHop: 4, NoCQueue: 5,
+		DRAM: 6, RRT: 7, Manager: 8, Runtime: 9, Idle: 10}
+	if s.Busy() != 45 {
+		t.Errorf("Busy = %d, want 45", s.Busy())
+	}
+	if s.Total() != 55 {
+		t.Errorf("Total = %d, want 55", s.Total())
+	}
+	var sum sim.Cycles
+	for _, c := range s.Components() {
+		sum += c.Cycles
+	}
+	if sum != s.Total() {
+		t.Errorf("Components sum to %d, want Total %d", sum, s.Total())
+	}
+	if cs := s.Components(); cs[len(cs)-1].Name != "idle" {
+		t.Error("idle must render last")
+	}
+}
+
+func testData() *Data {
+	tr := New(Options{Interval: 100})
+	tr.Emit(EvL1Hit, 42, 1, 0, 0)
+	tr.Emit(EvNoCMsg, 120, 0, 64, 2)
+	return &Data{
+		Benchmark: "LU", Policy: "TD-NUCA", NumCores: 16,
+		Total: 200, Interval: 100,
+		Stack:   CycleStack{Compute: 100, Idle: 3100},
+		Events:  tr.Events(),
+		Samples: tr.Samples(),
+		Tasks: []TaskSlice{
+			{Name: "diag", ID: 0, Core: 0, Start: 10, End: 60},
+			{Name: "row", ID: 1, Core: 3, Start: 60, End: 60}, // zero-length
+		},
+	}
+}
+
+func TestWriteIntervalsCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := testData().WriteIntervalsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV = %q, want header + 2 rows", b.String())
+	}
+	if lines[1] != "0,1,0,0,0,0,0,0" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "100,0,0,0,0,64,0,0" {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestWriteIntervalsJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := testData().WriteIntervalsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["benchmark"] != "LU" {
+		t.Errorf("benchmark = %v", doc["benchmark"])
+	}
+	if _, ok := doc["cycle_stack"]; !ok {
+		t.Error("JSON lacks cycle_stack")
+	}
+	if _, ok := doc["events"]; ok {
+		t.Error("raw events must not serialize into the interval JSON")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChrome(&b, testData()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var slices, counters, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur == 0 {
+				t.Errorf("slice %q has zero duration; must clamp to 1", e.Name)
+			}
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if slices != 2 {
+		t.Errorf("%d task slices, want 2", slices)
+	}
+	if counters == 0 || meta == 0 {
+		t.Errorf("counters=%d meta=%d, want both > 0", counters, meta)
+	}
+	if doc.OtherData["benchmark"] != "LU" {
+		t.Errorf("otherData benchmark = %v", doc.OtherData["benchmark"])
+	}
+	if _, ok := doc.OtherData["stack_idle"]; !ok {
+		t.Error("otherData lacks stack components")
+	}
+}
