@@ -13,12 +13,14 @@
 #   make trace-smoke one traced run through the experiments CLI: writes
 #                    and validates the Chrome trace + interval series and
 #                    checks the cycle stack sums to cores x makespan
-#   make golden      refresh the golden suite digests after an intentional
-#                    behavioral change
+#   make faults-smoke degraded (fault-injected) suite checked against its
+#                    golden digests, plus worker-count independence
+#   make golden      refresh the golden suite digests (healthy and
+#                    degraded) after an intentional behavioral change
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-quick trace-smoke golden ci
+.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +31,8 @@ test:
 # The parallel suite runner fans independent machines/runtimes out across
 # goroutines; the race detector over these packages is the proof that no
 # shared state sneaks back in (e.g. the old package-level WatchBlock).
+# The harness tests include the degraded (fault-injected) parallel suite,
+# so mid-run reconfiguration is raced too.
 race:
 	$(GO) test -race ./internal/harness ./internal/machine ./internal/taskrt
 
@@ -61,7 +65,15 @@ trace-smoke:
 	$(GO) run ./cmd/tdnuca-experiments -trace LU -trace-out /tmp/tdnuca-trace-smoke.json \
 		-interval 5000 -factor 0.0078125
 
+# Digest-checked degraded run: the fault-injected suite must reproduce
+# its golden digests bit-for-bit, stay coherent (zero violations), and be
+# independent of the worker count (DESIGN.md §11).
+faults-smoke:
+	$(GO) test ./internal/harness -run 'TestDegradedGoldenDigests|TestDegradedRunsStayCoherent|TestDegradedWorkerEquivalence'
+
+# Refreshes both golden files: the healthy suite (golden_suite.txt) and
+# the degraded suite (golden_faults.txt).
 golden:
 	$(GO) test ./internal/harness -run Golden -update
 
-ci: build lint test race bench-quick trace-smoke
+ci: build lint test race bench-quick trace-smoke faults-smoke

@@ -15,6 +15,17 @@
 //	tdnuca-experiments -fig cyclestack     # per-run cycle-stack decomposition
 //	tdnuca-experiments -trace LU           # trace LU under TD-NUCA
 //	tdnuca-experiments -trace LU:S-NUCA -trace-out lu.json -interval 5000
+//	tdnuca-experiments -faults default     # degraded suite (seeded severity-3 faults)
+//	tdnuca-experiments -faults bank=3@20000,link=1-2@50000,rrt=8@80000
+//	tdnuca-experiments -fig resilience     # makespan/traffic vs fault severity
+//
+// -faults runs every benchmark under S-NUCA, R-NUCA and TD-NUCA with the
+// given fault scenario injected (DESIGN.md §11) and prints the per-run
+// fault counters; "default" picks the seeded severity-3 ladder (one bank
+// retired, one link dead, RRTs halved) from -fault-seed. With -digest the
+// degraded suite's behavioral digest is printed instead of the healthy
+// one. -fig resilience sweeps severities 0..3 and prints the makespan and
+// NoC-traffic inflation of each policy relative to its healthy run.
 //
 // -trace runs one benchmark (optionally under a named policy, default
 // TD-NUCA) with the event tracer attached, writes a Perfetto-loadable
@@ -59,7 +70,7 @@ func exit(code int) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 3, 8..15, rrt, occupancy, flush, rtoverhead, ablation, clusters, table1, table2")
+		fig     = flag.String("fig", "", "figure to regenerate: 3, 8..15, rrt, occupancy, flush, rtoverhead, ablation, clusters, resilience, table1, table2")
 		all     = flag.Bool("all", false, "regenerate every table and figure")
 		factor  = flag.Float64("factor", float64(tdnuca.DefaultWorkloadFactor), "workload memory factor (1.0 = Table II scale)")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
@@ -72,6 +83,9 @@ func main() {
 		traceSpec = flag.String("trace", "", "trace one run: benchmark or benchmark:policy (default policy TD-NUCA)")
 		traceOut  = flag.String("trace-out", "trace.json", "Chrome trace output path for -trace")
 		interval  = flag.Uint64("interval", 0, "interval sample length in cycles for -trace (0 = default)")
+
+		faultSpec = flag.String("faults", "", "run the suite degraded: a fault scenario like bank=3@20000,link=1-2@50000,rrt=8@80000, or 'default' for the seeded severity-3 ladder")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for generated fault scenarios (-faults default, -fig resilience)")
 	)
 	flag.Parse()
 
@@ -95,7 +109,14 @@ func main() {
 		}
 	}
 
-	if !*all && *fig == "" && !*digest && *traceSpec == "" {
+	if *faultSpec != "" {
+		runDegraded(cfg, *faultSpec, *faultSeed, *workers, *digest)
+		if !*all && *fig == "" {
+			return
+		}
+	}
+
+	if !*all && *fig == "" && !*digest && *traceSpec == "" && *faultSpec == "" {
 		flag.Usage()
 		exit(2)
 	}
@@ -175,7 +196,65 @@ func main() {
 		fail(err)
 		fmt.Println(tbl)
 	}
+	if want("resilience") {
+		rep, err := tdnuca.ResilienceSweep(cfg, *faultSeed, 3, *workers,
+			tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA)
+		fail(err)
+		fmt.Println(rep)
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runDegraded executes every benchmark under the core policies with the
+// given fault scenario injected and prints the per-run fault accounting;
+// with -digest, the degraded suite's behavioral digest follows.
+func runDegraded(cfg tdnuca.ExperimentConfig, spec string, seed uint64, workers int, digest bool) {
+	var sc *tdnuca.FaultScenario
+	var err error
+	if strings.EqualFold(spec, "default") {
+		sc = tdnuca.DefaultFaults(&cfg.Arch, seed)
+	} else {
+		sc, err = tdnuca.ParseFaults(spec)
+		fail(err)
+	}
+	kinds := []tdnuca.PolicyKind{tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA}
+	n := workers
+	if n <= 0 {
+		n = tdnuca.ExperimentWorkers()
+	}
+	fmt.Fprintf(os.Stderr, "degraded run [%s]: %d benchmarks x %d policies on %d workers...\n",
+		sc, len(tdnuca.Benchmarks()), len(kinds), n)
+	suite, err := tdnuca.RunDegradedSuite(cfg, sc, workers, kinds...)
+	fail(err)
+
+	fmt.Printf("Degraded suite under faults [%s]\n", sc)
+	fmt.Printf("%-12s %-22s %14s %6s %6s %5s %13s %18s\n",
+		"benchmark", "policy", "cycles", "banks", "links", "rrt", "fault-cycles", "digest")
+	benches := make([]string, 0, len(suite))
+	for bench := range suite {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		perPolicy := suite[bench]
+		names := make([]string, 0, len(perPolicy))
+		for kind := range perPolicy {
+			names = append(names, string(kind))
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r := perPolicy[tdnuca.PolicyKind(name)]
+			fmt.Printf("%-12s %-22s %14d %6d %6d %5d %13d %016x\n",
+				bench, name, uint64(r.Cycles), r.BankRetirements, r.LinkFailures,
+				r.RRTDegrades, uint64(r.FaultCycles), r.Digest())
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "COHERENCE VIOLATION %s/%s: %s\n", bench, name, v)
+			}
+		}
+	}
+	if digest {
+		fmt.Print(tdnuca.DigestDegradedSuite(suite).String())
+	}
 }
 
 func reportViolations(s tdnuca.Suite) {

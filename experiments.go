@@ -1,6 +1,7 @@
 package tdnuca
 
 import (
+	"tdnuca/internal/faults"
 	"tdnuca/internal/harness"
 	"tdnuca/internal/stats"
 	"tdnuca/internal/trace"
@@ -127,3 +128,71 @@ var (
 	// (DESIGN.md §10).
 	CycleStackTable = harness.CycleStackTable
 )
+
+// Fault injection (DESIGN.md §11): deterministic degraded-hardware
+// scenarios — LLC bank retirement, NoC link failure, RRT capacity
+// degradation — applied mid-run at task-dispatch boundaries.
+
+// FaultScenario is an ordered schedule of hardware faults.
+type FaultScenario = faults.Scenario
+
+// FaultEvent is one scheduled fault of a FaultScenario.
+type FaultEvent = faults.Event
+
+// DegradedResult is a Result from a fault-injected run plus the applied
+// fault counters; it digests separately from healthy Results.
+type DegradedResult = harness.DegradedResult
+
+// DegradedJob names one fault-injected simulation for RunDegradedExperiments.
+type DegradedJob = harness.DegradedJob
+
+// DegradedSuite maps [benchmark][policy] to degraded results.
+type DegradedSuite = harness.DegradedSuite
+
+// ResilienceReport is a full graceful-degradation sweep; see ResilienceSweep.
+type ResilienceReport = harness.ResilienceReport
+
+// ParseFaults reads the -faults CLI syntax, e.g.
+// "bank=3@20000,link=1-2@50000,rrt=8@80000" (and "rrt=core:cap@cycle"
+// for a single core).
+func ParseFaults(s string) (*FaultScenario, error) { return faults.Parse(s) }
+
+// DefaultFaults returns the canonical severity-3 scenario for a
+// configuration: one bank retired, one link killed, every RRT halved,
+// with the choices drawn deterministically from the seed.
+func DefaultFaults(cfg *Config, seed uint64) *FaultScenario { return faults.Default(cfg, seed) }
+
+// FaultsAtSeverity returns the seeded scenario at a severity rung:
+// 0 none, 1 bank retirement, 2 adds a link failure, 3 adds RRT halving.
+func FaultsAtSeverity(cfg *Config, seed uint64, severity int) *FaultScenario {
+	return faults.ScenarioAt(cfg, seed, severity)
+}
+
+// RunBenchmarkDegraded executes one benchmark under one policy with the
+// fault scenario injected.
+func RunBenchmarkDegraded(bench string, kind PolicyKind, cfg ExperimentConfig, sc *FaultScenario) (DegradedResult, error) {
+	return harness.RunDegraded(bench, kind, cfg, sc)
+}
+
+// RunDegradedSuite executes every benchmark under each policy with the
+// same fault scenario, fanned out over the worker pool (<= 0 means one
+// per CPU); digests are independent of the worker count.
+func RunDegradedSuite(cfg ExperimentConfig, sc *FaultScenario, workers int, kinds ...PolicyKind) (DegradedSuite, error) {
+	return harness.RunDegradedSuite(cfg, sc, workers, kinds...)
+}
+
+// RunDegradedExperiments executes an arbitrary batch of fault-injected
+// jobs on a worker pool, returning results in job order.
+func RunDegradedExperiments(jobs []DegradedJob, workers int) ([]DegradedResult, error) {
+	return harness.RunDegradedMany(jobs, workers)
+}
+
+// DigestDegradedSuite fingerprints a DegradedSuite in canonical order.
+func DigestDegradedSuite(s DegradedSuite) SuiteDigest { return harness.DigestDegradedSuite(s) }
+
+// ResilienceSweep measures graceful degradation: every benchmark under
+// each policy at fault severities 0..maxSeverity, reporting makespan and
+// NoC-traffic inflation relative to the healthy run.
+func ResilienceSweep(cfg ExperimentConfig, seed uint64, maxSeverity, workers int, kinds ...PolicyKind) (*ResilienceReport, error) {
+	return harness.ResilienceSweep(cfg, seed, maxSeverity, workers, kinds...)
+}

@@ -167,6 +167,23 @@ const (
 	// interval time series: 10k-cycle buckets give a few hundred samples
 	// per golden-scale benchmark run.
 	TraceIntervalCycles = 10_000
+
+	// Fault-injection control costs (internal/faults): cycles charged to
+	// the core that observes a fault, on top of the modelled recovery
+	// work. A bank retirement additionally pays the drain flush, a link
+	// failure the routing-table rebuild broadcast, an RRT degradation the
+	// per-entry eviction flushes.
+	FaultBankRetireCycles = 200
+	FaultLinkFailCycles   = 60
+	FaultRRTDegradeCycles = 40
+
+	// Default fault schedule (faults.Default): the cycle offsets at which
+	// the staged bank retirement, link failure and RRT shrink fire. They
+	// sit well inside the shortest golden-scale benchmark (~335k cycles)
+	// so every degraded run exercises all three recovery paths.
+	FaultBankRetireAtCycles = 20_000
+	FaultLinkFailAtCycles   = 50_000
+	FaultRRTShrinkAtCycles  = 80_000
 )
 
 // ScaledConfig returns the scaled-down machine used by the default
@@ -186,6 +203,10 @@ func ScaledConfig() Config {
 // inconsistent (mesh/core mismatch, non-power-of-two geometry, cache sizes
 // not divisible into sets, cluster grid not tiling the mesh, ...).
 func (c *Config) Validate() error {
+	if c.MeshWidth <= 0 || c.MeshHeight <= 0 {
+		return fmt.Errorf("arch: mesh dimensions %dx%d must be positive (a chip needs at least one bank)",
+			c.MeshWidth, c.MeshHeight)
+	}
 	if c.NumCores <= 0 || c.NumCores != c.MeshWidth*c.MeshHeight {
 		return fmt.Errorf("arch: NumCores (%d) must equal MeshWidth*MeshHeight (%dx%d)",
 			c.NumCores, c.MeshWidth, c.MeshHeight)
@@ -216,14 +237,41 @@ func (c *Config) Validate() error {
 	if c.DirWays <= 0 || c.DirEntriesPerBank%c.DirWays != 0 {
 		return fmt.Errorf("arch: directory bank %d entries not divisible by %d ways", c.DirEntriesPerBank, c.DirWays)
 	}
+	if c.L1Bytes > c.LLCBankBytes {
+		return fmt.Errorf("arch: L1 (%dB) larger than one LLC bank (%dB): the inclusive LLC could not back the private cache",
+			c.L1Bytes, c.LLCBankBytes)
+	}
 	if c.TLBEntries <= 0 {
 		return fmt.Errorf("arch: TLBEntries must be positive")
 	}
-	if c.RRTEntries <= 0 {
-		return fmt.Errorf("arch: RRTEntries must be positive")
+	// RRTEntries == 0 means "no RRT" and is valid at the arch level:
+	// policies that use an RRT reject it at construction (tdnuca.NewSystem
+	// and the harness), where the policy choice is known.
+	if c.RRTEntries < 0 {
+		return fmt.Errorf("arch: RRTEntries must be non-negative")
 	}
 	if c.RRTLatency < 0 {
 		return fmt.Errorf("arch: RRTLatency must be non-negative")
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"L1Latency", c.L1Latency},
+		{"TLBLatency", c.TLBLatency},
+		{"PageWalkLatency", c.PageWalkLatency},
+		{"LLCLatency", c.LLCLatency},
+		{"DirLatency", c.DirLatency},
+		{"RouterLatency", c.RouterLatency},
+		{"LinkLatency", c.LinkLatency},
+		{"DRAMLatency", c.DRAMLatency},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("arch: %s (%d) must be non-negative", p.name, p.v)
+		}
+	}
+	if c.NoCContention && c.LinkBandwidthBytes <= 0 {
+		return fmt.Errorf("arch: NoCContention requires a positive LinkBandwidthBytes (got %d)", c.LinkBandwidthBytes)
 	}
 	if c.ClusterWidth <= 0 || c.ClusterHeight <= 0 ||
 		c.MeshWidth%c.ClusterWidth != 0 || c.MeshHeight%c.ClusterHeight != 0 {

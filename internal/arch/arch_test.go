@@ -56,8 +56,14 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		"L1 not divisible":   func(c *Config) { c.L1Bytes = 1000 },
 		"LLC not divisible":  func(c *Config) { c.LLCBankBytes = 3000 },
 		"zero TLB":           func(c *Config) { c.TLBEntries = 0 },
-		"zero RRT":           func(c *Config) { c.RRTEntries = 0 },
+		"negative RRT":       func(c *Config) { c.RRTEntries = -1 },
 		"negative RRT lat":   func(c *Config) { c.RRTLatency = -1 },
+		"zero banks":         func(c *Config) { c.NumCores, c.MeshWidth, c.MeshHeight = 0, 0, 0 },
+		"negative mesh":      func(c *Config) { c.MeshWidth, c.MeshHeight = -4, -4 },
+		"L1 over bank":       func(c *Config) { c.LLCBankBytes = 16 << 10 },
+		"negative DRAM lat":  func(c *Config) { c.DRAMLatency = -1 },
+		"negative link lat":  func(c *Config) { c.LinkLatency = -1 },
+		"contended zero bw":  func(c *Config) { c.NoCContention = true; c.LinkBandwidthBytes = 0 },
 		"bad cluster tiling": func(c *Config) { c.ClusterWidth = 3 },
 		"no mem controllers": func(c *Config) { c.MemCtrlTiles = nil },
 		"mem ctrl OOB":       func(c *Config) { c.MemCtrlTiles = []int{99} },
@@ -70,6 +76,13 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted a broken config", name)
 		}
+	}
+	// RRTEntries == 0 is a valid arch config ("no RRT"): only policies
+	// that use an RRT reject it, at construction time.
+	c := DefaultConfig()
+	c.RRTEntries = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero RRT entries should be arch-valid (policy-level check): %v", err)
 	}
 }
 

@@ -101,6 +101,47 @@ func (r *RRT) RemoveOverlapping(asid int, rng amath.Range) int {
 	return removed
 }
 
+// RemoveWithBank de-registers every entry whose BankMask names the given
+// bank, regardless of ASID, returning how many entries were removed.
+// Issued when an LLC bank is retired: any region still routed at the dead
+// bank must fall back to address interleaving (the paper's RRT-miss
+// fallback path). Bypass entries (empty mask) never match.
+func (r *RRT) RemoveWithBank(bank int) int {
+	kept := r.entries[:0]
+	removed := 0
+	for _, e := range r.entries {
+		if e.Mask.Has(bank) {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	if removed > 0 {
+		r.sample()
+	}
+	return removed
+}
+
+// SetCapacity shrinks (or grows) the table's capacity mid-run, returning
+// the entries evicted to fit: insertion order is kept and the newest
+// entries beyond the new capacity are the ones evicted, so the eviction
+// set is deterministic. The caller owns making the evicted regions safe
+// to access untracked (flushing them to memory) before dropping them.
+func (r *RRT) SetCapacity(newCap int) []RRTEntry {
+	if newCap < 0 {
+		newCap = 0
+	}
+	r.capacity = newCap
+	if len(r.entries) <= newCap {
+		return nil
+	}
+	evicted := append([]RRTEntry(nil), r.entries[newCap:]...)
+	r.entries = r.entries[:newCap]
+	r.sample()
+	return evicted
+}
+
 // EntriesOf returns copies of the entries tagged with the ASID, used by
 // thread migration to move a process's mappings between cores.
 func (r *RRT) EntriesOf(asid int) []RRTEntry {

@@ -137,6 +137,57 @@ func TestRRTMatchesNaiveModel(t *testing.T) {
 	}
 }
 
+func TestRRTRemoveWithBank(t *testing.T) {
+	r := NewRRT(8)
+	r.Insert(0, amath.NewRange(0, 128), arch.MaskOf(3))
+	r.Insert(1, amath.NewRange(256, 128), arch.MaskOf(3).Set(5)) // other ASID, still names bank 3
+	r.Insert(0, amath.NewRange(512, 128), arch.MaskOf(5))
+	if n := r.RemoveWithBank(3); n != 2 {
+		t.Errorf("removed %d entries naming bank 3, want 2 (ASID-blind)", n)
+	}
+	if _, ok := r.Lookup(0, 512); !ok {
+		t.Error("entry not naming the bank was removed")
+	}
+	if _, ok := r.Lookup(0, 0); ok {
+		t.Error("entry naming the retired bank survived")
+	}
+	if n := r.RemoveWithBank(3); n != 0 {
+		t.Errorf("second pass removed %d", n)
+	}
+}
+
+func TestRRTSetCapacity(t *testing.T) {
+	r := NewRRT(4)
+	for i := 0; i < 4; i++ {
+		r.Insert(0, amath.NewRange(amath.Addr(i)*64, 64), arch.MaskOf(i))
+	}
+	evicted := r.SetCapacity(2)
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %d entries, want 2", len(evicted))
+	}
+	// Insertion order is preserved: the newest entries fall out.
+	if evicted[0].Range.Start != 128 || evicted[1].Range.Start != 192 {
+		t.Errorf("evicted %v, want the two newest entries", evicted)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after shrink", r.Len())
+	}
+	if r.Insert(0, amath.NewRange(1<<20, 64), 1) {
+		t.Error("insert into a shrunk-full table succeeded")
+	}
+	// Disabling entirely: capacity 0 evicts everything and rejects all
+	// inserts, forcing the untracked fallback path.
+	if got := r.SetCapacity(0); len(got) != 2 {
+		t.Errorf("disable evicted %d, want 2", len(got))
+	}
+	if r.Insert(0, amath.NewRange(2<<20, 64), 1) {
+		t.Error("insert into a disabled table succeeded")
+	}
+	if got := r.SetCapacity(-3); len(got) != 0 || r.Len() != 0 {
+		t.Error("negative capacity not clamped to 0")
+	}
+}
+
 func TestFlushRegister(t *testing.T) {
 	var f FlushRegister
 	if !f.Poll() {

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"tdnuca/internal/faults"
+	"tdnuca/internal/sim"
+	"tdnuca/internal/workloads"
+)
+
+// Degraded runs: the same harness with a fault scenario attached. The
+// healthy Result struct (and therefore the healthy golden digests) is
+// frozen, so fault counters live in a wrapper with its own digest.
+
+// DegradedResult is a Result from a run with fault injection, extended
+// with what the injector applied. It has its own Digest covering both
+// the embedded Result and the fault counters.
+type DegradedResult struct {
+	Result
+
+	// Scenario is the applied schedule in -faults syntax.
+	Scenario string
+
+	BankRetirements int
+	LinkFailures    int
+	RRTDegrades     int
+	// FaultCycles is the total reconfiguration time charged by the
+	// injector (bank drains, reroute setup, RRT cleanup).
+	FaultCycles sim.Cycles
+}
+
+// Digest fingerprints the degraded run: the embedded Result's fields
+// plus the scenario and fault counters, under the same reflection walk
+// (and the same float exclusions) as Result.Digest.
+func (r DegradedResult) Digest() uint64 {
+	h := newFNV()
+	hashValue(&h, reflect.ValueOf(r))
+	return uint64(h)
+}
+
+// RunDegraded executes one benchmark under one policy with the fault
+// scenario injected at task-dispatch boundaries. The scenario is
+// validated against the architecture first; a scheduler stall surfaces
+// as a *taskrt.StallError, not a hang.
+func RunDegraded(bench string, kind PolicyKind, cfg Config, sc *faults.Scenario) (DegradedResult, error) {
+	res, _, fst, err := run(bench, kind, cfg, nil, sc)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	return DegradedResult{
+		Result:          res,
+		Scenario:        sc.String(),
+		BankRetirements: fst.BankRetirements,
+		LinkFailures:    fst.LinkFailures,
+		RRTDegrades:     fst.RRTDegrades,
+		FaultCycles:     fst.FaultCycles,
+	}, nil
+}
+
+// DegradedJob names one degraded simulation for RunDegradedMany.
+type DegradedJob struct {
+	Bench    string
+	Kind     PolicyKind
+	Cfg      Config
+	Scenario *faults.Scenario
+}
+
+// validate mirrors Job.validate with the scenario checked too.
+func (j DegradedJob) validate() error {
+	if err := (Job{Bench: j.Bench, Kind: j.Kind, Cfg: j.Cfg}).validate(); err != nil {
+		return err
+	}
+	if err := validatePolicy(j.Kind, &j.Cfg.Arch); err != nil {
+		return err
+	}
+	if j.Scenario == nil {
+		return fmt.Errorf("harness: %s under %s: nil fault scenario", j.Bench, j.Kind)
+	}
+	if err := j.Scenario.Validate(&j.Cfg.Arch); err != nil {
+		return fmt.Errorf("harness: %s under %s: %w", j.Bench, j.Kind, err)
+	}
+	return nil
+}
+
+// ResiliencePoint is one cell of a resilience sweep: a benchmark under a
+// policy at one fault-severity level, with its slowdown and NoC-traffic
+// inflation relative to the healthy (severity 0) run of the same pair.
+type ResiliencePoint struct {
+	Benchmark string
+	Policy    PolicyKind
+	Severity  int
+
+	Cycles   sim.Cycles
+	ByteHops uint64
+
+	// MakespanX and TrafficX are this point's Cycles and ByteHops divided
+	// by the severity-0 values — the degradation curves of the report.
+	MakespanX float64
+	TrafficX  float64
+
+	Faults     faults.Stats
+	Violations int
+}
+
+// ResilienceReport is a full sweep: every benchmark x policy x severity.
+type ResilienceReport struct {
+	Seed       uint64
+	Severities []int
+	Points     []ResiliencePoint
+}
+
+// ResilienceSweep measures graceful degradation: every Table II
+// benchmark under each policy at fault severities 0 (healthy) through
+// maxSeverity (faults.ScenarioAt's ladder: bank retirement, then a dead
+// link, then halved RRTs), all runs fanned out over the worker pool.
+// Scenario choices are drawn from seed, so the whole report is
+// deterministic and digest-stable.
+func ResilienceSweep(cfg Config, seed uint64, maxSeverity, workers int, kinds ...PolicyKind) (*ResilienceReport, error) {
+	rep := &ResilienceReport{Seed: seed}
+	for s := 0; s <= maxSeverity; s++ {
+		rep.Severities = append(rep.Severities, s)
+	}
+	var jobs []DegradedJob
+	for _, bench := range workloads.Names() {
+		for _, k := range kinds {
+			for _, s := range rep.Severities {
+				jobs = append(jobs, DegradedJob{
+					Bench: bench, Kind: k, Cfg: cfg,
+					Scenario: faults.ScenarioAt(&cfg.Arch, seed, s),
+				})
+			}
+		}
+	}
+	results, err := RunDegradedMany(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string]DegradedResult) // "bench/policy" -> severity-0 run
+	for i, j := range jobs {
+		if j.Scenario != nil && len(j.Scenario.Events) == 0 {
+			base[j.Bench+"/"+string(j.Kind)] = results[i]
+		}
+	}
+	for i, j := range jobs {
+		r := results[i]
+		p := ResiliencePoint{
+			Benchmark: j.Bench,
+			Policy:    j.Kind,
+			Severity:  rep.Severities[i%len(rep.Severities)],
+			Cycles:    r.Cycles,
+			ByteHops:  r.DataMovement,
+			Faults: faults.Stats{
+				BankRetirements: r.BankRetirements,
+				LinkFailures:    r.LinkFailures,
+				RRTDegrades:     r.RRTDegrades,
+				FaultCycles:     r.FaultCycles,
+			},
+			Violations: len(r.Violations),
+		}
+		if b, ok := base[j.Bench+"/"+string(j.Kind)]; ok && b.Cycles > 0 {
+			p.MakespanX = float64(r.Cycles) / float64(b.Cycles)
+			if b.DataMovement > 0 {
+				p.TrafficX = float64(r.DataMovement) / float64(b.DataMovement)
+			}
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep, nil
+}
+
+// String renders the report as the resilience table of EXPERIMENTS.md:
+// one block per benchmark, one row per policy x severity, with makespan
+// and NoC-traffic ratios normalized to the healthy run.
+func (rep *ResilienceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Resilience sweep (fault seed %d): makespan and NoC traffic vs fault severity\n", rep.Seed)
+	b.WriteString("severity ladder: 0 healthy; 1 +bank retired; 2 +link dead; 3 +RRTs halved\n\n")
+	byBench := make(map[string][]ResiliencePoint)
+	var benches []string
+	for _, p := range rep.Points {
+		if _, ok := byBench[p.Benchmark]; !ok {
+			benches = append(benches, p.Benchmark)
+		}
+		byBench[p.Benchmark] = append(byBench[p.Benchmark], p)
+	}
+	sort.Strings(benches)
+	fmt.Fprintf(&b, "%-12s %-22s %4s %14s %10s %12s %10s %6s\n",
+		"benchmark", "policy", "sev", "cycles", "makespan", "byte-hops", "traffic", "viol")
+	for _, bench := range benches {
+		for _, p := range byBench[bench] {
+			fmt.Fprintf(&b, "%-12s %-22s %4d %14d %9.3fx %12d %9.3fx %6d\n",
+				p.Benchmark, p.Policy, p.Severity, uint64(p.Cycles),
+				p.MakespanX, p.ByteHops, p.TrafficX, p.Violations)
+		}
+	}
+	return b.String()
+}
+
+// DegradedSuite maps [benchmark][policy] to a degraded result, the
+// fault-injected analogue of Suite.
+type DegradedSuite map[string]map[PolicyKind]DegradedResult
+
+// DigestDegradedSuite fingerprints a DegradedSuite in canonical order,
+// exactly like DigestSuite does for healthy runs.
+func DigestDegradedSuite(s DegradedSuite) SuiteDigest {
+	var d SuiteDigest
+	benches := make([]string, 0, len(s))
+	for b := range s {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		kinds := make([]string, 0, len(s[b]))
+		for k := range s[b] {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			r := s[b][PolicyKind(k)]
+			d.Entries = append(d.Entries, DigestEntry{
+				Benchmark: b,
+				Policy:    PolicyKind(k),
+				Cycles:    r.Cycles,
+				Digest:    r.Digest(),
+			})
+		}
+	}
+	h := newFNV()
+	for _, e := range d.Entries {
+		h.str(e.Benchmark)
+		h.str(string(e.Policy))
+		h.u64(uint64(e.Cycles))
+		h.u64(e.Digest)
+	}
+	d.Hash = uint64(h)
+	return d
+}
+
+// RunDegradedSuite executes every benchmark under each policy with the
+// same fault scenario, fanning out over the worker pool (<= 0 means
+// DefaultWorkers). Results are bit-for-bit independent of the worker
+// count.
+func RunDegradedSuite(cfg Config, sc *faults.Scenario, workers int, kinds ...PolicyKind) (DegradedSuite, error) {
+	var jobs []DegradedJob
+	for _, bench := range workloads.Names() {
+		for _, k := range kinds {
+			jobs = append(jobs, DegradedJob{Bench: bench, Kind: k, Cfg: cfg, Scenario: sc})
+		}
+	}
+	results, err := RunDegradedMany(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := make(DegradedSuite)
+	for i, j := range jobs {
+		per := s[j.Bench]
+		if per == nil {
+			per = make(map[PolicyKind]DegradedResult)
+			s[j.Bench] = per
+		}
+		per[j.Kind] = results[i]
+	}
+	return s, nil
+}

@@ -11,6 +11,7 @@ import (
 	"tdnuca/internal/arch"
 	"tdnuca/internal/core"
 	"tdnuca/internal/energy"
+	"tdnuca/internal/faults"
 	"tdnuca/internal/machine"
 	"tdnuca/internal/policy"
 	"tdnuca/internal/rnuca"
@@ -113,7 +114,7 @@ func (r Result) Speedup(base Result) float64 {
 
 // Run executes one benchmark under one policy and returns its Result.
 func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
-	r, _, err := run(bench, kind, cfg, nil)
+	r, _, _, err := run(bench, kind, cfg, nil, nil)
 	return r, err
 }
 
@@ -122,21 +123,39 @@ func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
 // slices, cycle stack). Tracing is observation-only, so the Result — and
 // therefore the suite digest — is byte-identical to an untraced Run.
 func RunTraced(bench string, kind PolicyKind, cfg Config, topts trace.Options) (Result, *trace.Data, error) {
-	res, d, err := run(bench, kind, cfg, trace.New(topts))
+	res, d, _, err := run(bench, kind, cfg, trace.New(topts), nil)
 	if err != nil {
 		return res, nil, err
 	}
 	return res, d, nil
 }
 
-func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer) (Result, *trace.Data, error) {
+// validatePolicy rejects policy/architecture combinations that cannot
+// work: a policy whose placement decisions depend on the RRT needs at
+// least one RRT entry per core (an RRT degraded to zero entries mid-run
+// by a fault is a different thing — the fallback path handles that; a
+// machine *built* without one is a misconfiguration).
+func validatePolicy(kind PolicyKind, a *arch.Config) error {
+	switch kind {
+	case TDNUCA, TDBypassOnly, TDNoISA:
+		if a.RRTEntries <= 0 {
+			return fmt.Errorf("harness: policy %s requires RRTEntries > 0 (got %d)", kind, a.RRTEntries)
+		}
+	}
+	return nil
+}
+
+func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults.Scenario) (Result, *trace.Data, faults.Stats, error) {
 	spec, ok := workloads.Get(bench, cfg.Factor)
 	if !ok {
-		return Result{}, nil, fmt.Errorf("harness: unknown benchmark %q", bench)
+		return Result{}, nil, faults.Stats{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+	}
+	if err := validatePolicy(kind, &cfg.Arch); err != nil {
+		return Result{}, nil, faults.Stats{}, err
 	}
 	m, err := machine.New(&cfg.Arch, cfg.FragEvery, cfg.Seed)
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, faults.Stats{}, err
 	}
 	m.SetTracer(tr)
 
@@ -164,11 +183,31 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer) (Result, *
 		m.SetPolicy(policy.NewSNUCA())
 		hooks = mgr
 	default:
-		return Result{}, nil, fmt.Errorf("harness: unknown policy %q", kind)
+		return Result{}, nil, faults.Stats{}, fmt.Errorf("harness: unknown policy %q", kind)
+	}
+
+	// Fault injection: a validated scenario is turned into an injector
+	// whose Advance runs at every task-dispatch boundary (the only points
+	// where no task is mid-flight), charging reconfiguration cycles to the
+	// dispatching core. On a healthy run the hook stays nil and the code
+	// path — and therefore the digest — is untouched.
+	var inj *faults.Injector
+	if sc != nil {
+		if err := sc.Validate(&cfg.Arch); err != nil {
+			return Result{}, nil, faults.Stats{}, err
+		}
+		var deg faults.RRTDegrader
+		if mgr != nil {
+			deg = mgr
+		}
+		inj = faults.NewInjector(m, deg, sc)
+		cfg.RT.OnDispatch = inj.Advance
 	}
 
 	rt := taskrt.New(m, hooks, cfg.RT)
-	spec.Build(rt)
+	if err := buildChecked(spec, rt); err != nil {
+		return Result{}, nil, faults.Stats{}, err
+	}
 
 	res := Result{
 		Benchmark:       bench,
@@ -217,6 +256,10 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer) (Result, *
 	stack.Compute = rt.ComputeCost()
 	stack.Runtime = rt.CreationCost()
 	stack.Manager += rt.HookCost()
+	// Fault reconfiguration time (bank drains, reroutes, RRT cleanup) was
+	// charged to the dispatching core's clock; fold it into the policy
+	// overhead slice. Zero on healthy runs.
+	stack.Manager += rt.DispatchCost()
 	total := rt.Makespan() * sim.Cycles(cfg.Arch.NumCores)
 	if b := stack.Busy(); b > total {
 		// Cycles is unsigned, so a silent subtraction here would wrap and
@@ -252,7 +295,29 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer) (Result, *
 			})
 		}
 	}
-	return res, data, nil
+	var fst faults.Stats
+	if inj != nil {
+		fst = inj.Stats()
+	}
+	return res, data, fst, nil
+}
+
+// buildChecked runs the benchmark's TDG builder, converting a scheduler
+// stall (the runtime's Wait panics with a *taskrt.StallError on deadlock
+// or budget exhaustion) into an ordinary error so one wedged run fails
+// cleanly instead of taking the whole sweep down.
+func buildChecked(spec workloads.Spec, rt *taskrt.Runtime) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*taskrt.StallError); ok {
+				err = se
+				return
+			}
+			panic(r)
+		}
+	}()
+	spec.Build(rt)
+	return nil
 }
 
 // MustRun is Run but panics on error, for the CLIs and benchmarks.

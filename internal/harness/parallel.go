@@ -97,6 +97,56 @@ func RunMany(jobs []Job, workers int) ([]Result, error) {
 	return results, nil
 }
 
+// RunDegradedMany is RunMany for fault-injected jobs: the batch runs on
+// a worker pool of up to workers goroutines (<= 0 means DefaultWorkers)
+// and results come back in job order, bit-for-bit identical to a
+// sequential execution. Validation (including scenario validation) is
+// done up front so errors are deterministic.
+func RunDegradedMany(jobs []DegradedJob, workers int) ([]DegradedResult, error) {
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]DegradedResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				r, err := RunDegraded(jobs[i].Bench, jobs[i].Kind, jobs[i].Cfg, jobs[i].Scenario)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // suiteJobs builds the benchmark x policy cross-product in canonical
 // order (Table II benchmark order, then the given policy order).
 func suiteJobs(cfg Config, kinds []PolicyKind) []Job {

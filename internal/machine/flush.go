@@ -114,6 +114,10 @@ func (m *Machine) FlushBankRange(bank int, r amath.Range) (sim.Cycles, int) {
 		m.met.FlushCycles += flushCheckCycles
 		return flushCheckCycles, 0
 	}
+	// Policies flush by the bank they believe owns the data (R-NUCA
+	// reclassification, TD-NUCA transitions); after a retirement that
+	// data lives on the bank's survivor, so the flush follows the map.
+	bank = m.bankMap[bank]
 	m.met.FlushOps++
 	b := m.Banks[bank]
 	lat := m.flushScanCycles(r, b.Cache.Sets()*b.Cache.Ways())

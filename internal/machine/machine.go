@@ -173,6 +173,13 @@ type Machine struct {
 	trans     []vm.TransCache
 	nearestMC []int
 
+	// Bank-retirement state (see fault.go). bankMap is always the
+	// identity until the first RetireBank, so every resolve applies it
+	// unconditionally without perturbing healthy runs; retired is the
+	// mask of drained banks that must never serve an access again.
+	bankMap []int
+	retired arch.Mask
+
 	policy   Policy
 	writeObs WriteObserver // non-nil when policy implements WriteObserver
 	met      Metrics
@@ -209,9 +216,11 @@ func New(cfg *arch.Config, fragEvery int, seed uint64) (*Machine, error) {
 		coreProc:  make([]int, cfg.NumCores),
 		trans:     make([]vm.TransCache, cfg.NumCores),
 		nearestMC: make([]int, cfg.NumCores),
+		bankMap:   make([]int, cfg.NumCores),
 	}
 	for i := range m.nearestMC {
 		m.nearestMC[i] = cfg.NearestMemCtrl(i)
+		m.bankMap[i] = i
 	}
 	m.procs = []*Process{{ID: 0, AS: m.AS}}
 	if cfg.NoCContention {
@@ -316,26 +325,37 @@ func (m *Machine) TLBStats() (hits, misses uint64) {
 // blockNum converts a physical address to its block number.
 func (m *Machine) blockNum(pa amath.Addr) uint64 { return pa.Block(m.Cfg.BlockBytes) }
 
-// interleaveBank is the S-NUCA static mapping: block number modulo banks.
+// interleaveBank is the S-NUCA static mapping: block number modulo banks,
+// remapped through the retirement map (identity on a healthy machine).
 func (m *Machine) interleaveBank(pa amath.Addr) int {
-	return int(m.blockNum(pa) % uint64(m.Cfg.NumCores))
+	return m.bankMap[m.blockNum(pa)%uint64(m.Cfg.NumCores)]
 }
 
 // ResolveBank turns a Placement into the concrete destination bank for a
 // block (for BankSet, interleaving by the low block-address bits as in
-// Sec. III-B3). It panics on Bypass placements.
+// Sec. III-B3). Every resolve passes through the retirement map, so a
+// placement that names a retired bank lands on that bank's deterministic
+// survivor instead — the policies never need to know a bank died to stay
+// correct, they only consult the map (via BankMap) to stay efficient.
+// It panics on Bypass placements.
 func (m *Machine) ResolveBank(pl Placement, pa amath.Addr) int {
+	var bank int
 	switch pl.Kind {
 	case Interleaved:
-		return m.interleaveBank(pa)
+		bank = m.interleaveBank(pa)
 	case SingleBank:
-		return pl.Bank
+		bank = m.bankMap[pl.Bank]
 	case BankSet:
 		n := pl.Set.Count()
 		if n == 0 {
 			panic("machine: empty BankSet placement")
 		}
-		return pl.Set.NthBit(int(m.blockNum(pa) % uint64(n)))
+		bank = m.bankMap[pl.Set.NthBit(int(m.blockNum(pa)%uint64(n)))]
+	default:
+		panic("machine: ResolveBank on Bypass placement")
 	}
-	panic("machine: ResolveBank on Bypass placement")
+	if m.retired != 0 {
+		m.verifyBankAlive(bank)
+	}
+	return bank
 }

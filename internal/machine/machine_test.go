@@ -231,6 +231,7 @@ func TestLLCInclusiveBackInvalidation(t *testing.T) {
 	// eviction removes the L1 copy (inclusivity) without losing writes.
 	cfg := arch.ScaledConfig()
 	cfg.LLCBankBytes = 2 << 10 // 2KB banks: 32 lines, 16-way -> 2 sets
+	cfg.L1Bytes = 2 << 10      // keep L1 <= bank (config validation: inclusivity)
 	cfg.DirEntriesPerBank = 64
 	cfg.CheckInvariants = true
 	m := MustNew(&cfg, 0, 1)
@@ -433,6 +434,7 @@ func TestRandomAccessStreamStaysCoherent(t *testing.T) {
 	f := func(ops []uint16) bool {
 		cfg := arch.ScaledConfig()
 		cfg.LLCBankBytes = 4 << 10 // small banks to exercise evictions
+		cfg.L1Bytes = 4 << 10      // keep L1 <= bank (config validation: inclusivity)
 		cfg.DirEntriesPerBank = 128
 		cfg.CheckInvariants = true
 		m := MustNew(&cfg, 4, 7)

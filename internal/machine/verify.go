@@ -48,6 +48,7 @@ type verifier struct {
 	l1s    []map[amath.Addr]uint64
 
 	violations []string
+	suppressed uint64 // violations past the maxViolations cap, counted not stored
 }
 
 func newVerifier(cfg *arch.Config) *verifier {
@@ -64,22 +65,35 @@ func newVerifier(cfg *arch.Config) *verifier {
 
 const maxViolations = 20
 
-// report records one violation, capped at maxViolations.
+// report records one violation. Storage is capped at maxViolations —
+// the first ones localize the bug, the rest are only counted — so a
+// badly broken policy producing a violation per access cannot balloon
+// a long run's memory; Violations() reports the overflow count.
 //
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
 func (v *verifier) report(format string, args ...any) {
 	if len(v.violations) < maxViolations {
 		v.violations = append(v.violations, fmt.Sprintf(format, args...))
+	} else {
+		v.suppressed++
 	}
 }
 
 // Violations returns the coherence violations the verifier observed, or
-// nil when verification is disabled or clean.
+// nil when verification is disabled or clean. Only the first
+// maxViolations are stored verbatim; any overflow is summarized in a
+// final "… and N more" entry.
 func (m *Machine) Violations() []string {
 	if m.ver == nil {
 		return nil
 	}
-	return m.ver.violations
+	if m.ver.suppressed == 0 {
+		return m.ver.violations
+	}
+	out := make([]string, 0, len(m.ver.violations)+1)
+	out = append(out, m.ver.violations...)
+	out = append(out, fmt.Sprintf("… and %d more violations (storage capped at %d)", m.ver.suppressed, maxViolations))
+	return out
 }
 
 // goldenWrite records a core's store: the block's golden version advances

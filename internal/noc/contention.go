@@ -92,6 +92,9 @@ func (n *Network) SendAt(from, to, bytes int, now sim.Cycles) (hops int, latency
 	if occ < sim.Cycles(n.cfg.LinkLatency) {
 		occ = sim.Cycles(n.cfg.LinkLatency)
 	}
+	if n.faulty {
+		return n.sendFaultyAt(from, to, bytes, now, occ)
+	}
 	t := now
 	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
 	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)

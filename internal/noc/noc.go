@@ -38,6 +38,12 @@ type Network struct {
 	links      [][4]linkState
 	queued     sim.Cycles
 
+	// Link-failure state (see fault.go). faulty stays false until the
+	// first FailLink, so healthy runs never leave the inlined XY paths.
+	faulty bool
+	dead   [][4]bool
+	next   [][]int16 // next[dst][tile]: next hop toward dst, -1 unreachable
+
 	// tr, when non-nil, receives one EvNoCMsg per routed message
 	// (observation only; never alters routing or latency).
 	tr *trace.Tracer
@@ -67,6 +73,9 @@ func New(cfg *arch.Config) *Network {
 // sequence of tiles traversed, including both endpoints. XY routing moves
 // along the X dimension first, then Y, and is deadlock-free on a mesh.
 func (n *Network) Route(from, to int) []int {
+	if n.faulty {
+		return n.routeFaulty(from, to)
+	}
 	path := []int{from}
 	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
 	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
@@ -96,6 +105,9 @@ func (n *Network) Route(from, to int) []int {
 // simulator's hottest path; Route exists for tests and tooling.
 func (n *Network) Send(from, to, bytes int) (hops, latency int) {
 	n.messages++
+	if n.faulty {
+		return n.sendFaulty(from, to, bytes)
+	}
 	x, y := n.cfg.TileX(from), n.cfg.TileY(from)
 	tx, ty := n.cfg.TileX(to), n.cfg.TileY(to)
 	cur := from
@@ -159,6 +171,7 @@ func (n *Network) direction(from, to int) int {
 	case ty == fy+1 && tx == fx:
 		return South
 	}
+	//tdnuca:allow(alloc) panic path: allocates only on a non-adjacent hop, immediately before aborting the run
 	panic(fmt.Sprintf("noc: tiles %d and %d are not adjacent", from, to))
 }
 

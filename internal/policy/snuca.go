@@ -25,7 +25,11 @@ func (*SNUCA) LookupPenalty() int { return 0 }
 // UsesRRT implements machine.Policy.
 func (*SNUCA) UsesRRT() bool { return false }
 
-// Place implements machine.Policy.
+// Place implements machine.Policy. Under injected bank retirements
+// (internal/faults) no fix-up is needed here: the interleaved mapping is
+// resolved through the machine's retirement map at access time, so a
+// block whose home bank died lands on that bank's deterministic survivor
+// without the policy ever knowing.
 func (*SNUCA) Place(machine.AccessContext) (machine.Placement, sim.Cycles) {
 	return machine.Placement{Kind: machine.Interleaved}, 0
 }

@@ -231,6 +231,35 @@ func (r *RNUCA) reclassify(info *pageInfo, pp uint64, ac machine.AccessContext) 
 	return extra
 }
 
+// BankRetired implements machine.FaultObserver. R-NUCA needs no
+// placement fix-up when an LLC bank is retired: its placements name
+// banks symbolically (a private page's owner core, a cluster mask) and
+// every resolve passes through the machine's retirement map, so they
+// land on the survivor automatically. What the OS *does* pay for is the
+// placement hint piggybacked on the TLB: private pages homed at the dead
+// bank carry a stale hint in their owner's TLB, so those entries are
+// shot down (the next access re-walks and picks up the remap). The page
+// classification itself is untouched — owner is a core, and cores
+// outlive their banks.
+func (r *RNUCA) BankRetired(bank int) sim.Cycles {
+	pns := make([]uint64, 0, len(r.pages))
+	for pn := range r.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var cyc sim.Cycles
+	for _, pn := range pns {
+		info := r.pages[pn]
+		if info.class != ClassPrivate || info.owner != bank {
+			continue
+		}
+		r.m.TLBs[info.owner].Invalidate(info.ownerVP)
+		cyc += r.ShootdownCycles
+		r.stats.TLBShootdowns++
+	}
+	return cyc
+}
+
 // BlockClasses returns the number of unique touched cache blocks whose
 // page ended the run in each class — the R-NUCA bar of Fig. 3.
 func (r *RNUCA) BlockClasses() (private, sharedRO, shared uint64) {

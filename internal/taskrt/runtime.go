@@ -56,6 +56,16 @@ type Options struct {
 	// multiprogramming). Empty means all cores. The first listed core
 	// doubles as the creator thread.
 	Cores []int
+	// MaxCycles, when positive, is the scheduler watchdog's cycle budget:
+	// a dispatch whose start time would exceed it stalls the run with a
+	// StallBudget error instead of simulating a runaway schedule forever.
+	MaxCycles sim.Cycles
+	// OnDispatch, when non-nil, fires once per task dispatch with the
+	// task's start time and returns extra cycles charged to the dispatch
+	// (before TaskStarting). The fault injector advances its scenario
+	// here: dispatch boundaries are the only points where no task is
+	// mid-flight, so injected reconfigurations stay deterministic.
+	OnDispatch func(now sim.Cycles) sim.Cycles
 }
 
 // DefaultOptions returns the cost model used by all experiments.
@@ -87,6 +97,7 @@ type Runtime struct {
 	creationCost  sim.Cycles
 	hookCost      sim.Cycles
 	computeCost   sim.Cycles
+	dispatchCost  sim.Cycles // cycles charged by Options.OnDispatch
 	executedTasks int
 
 	// tr mirrors the machine's tracer (captured at construction) so task
@@ -162,8 +173,20 @@ func (rt *Runtime) Spawn(name string, deps []Dep, body BodyFn) *Task {
 // nothing is ready yet, the core waits for the earliest-ready task. This
 // models Nanos++'s data-affinity scheduler and is fully deterministic.
 func (rt *Runtime) Wait() {
+	if err := rt.WaitChecked(); err != nil {
+		panic(err)
+	}
+}
+
+// WaitChecked is Wait returning the scheduler watchdog's verdict instead
+// of panicking: a wedged task graph (dependency cycle, never-satisfied
+// dependency) or an exceeded cycle budget comes back as a *StallError
+// naming the stuck tasks. On success it behaves exactly like Wait.
+func (rt *Runtime) WaitChecked() error {
 	for rt.pending > 0 {
-		rt.dispatchOne()
+		if err := rt.dispatchOne(); err != nil {
+			return err
+		}
 	}
 	// Barrier: every thread of this runtime reaches the sync point
 	// together (cores belonging to other processes are untouched).
@@ -175,6 +198,7 @@ func (rt *Runtime) Wait() {
 		rt.coreFree[c] = max
 	}
 	rt.makespan = sim.Max(rt.makespan, max)
+	return nil
 }
 
 // WaitFor runs the scheduler only until the given task completes. Unlike
@@ -187,14 +211,18 @@ func (rt *Runtime) WaitFor(t *Task) {
 		if rt.pending == 0 || len(rt.ready) == 0 {
 			panic(fmt.Sprintf("taskrt: WaitFor(%q) cannot make progress", t.Name))
 		}
-		rt.dispatchOne()
+		if err := rt.dispatchOne(); err != nil {
+			panic(err)
+		}
 	}
 }
 
-// dispatchOne picks and fully executes one task on one core.
-func (rt *Runtime) dispatchOne() {
+// dispatchOne picks and fully executes one task on one core, or returns
+// a *StallError when the watchdog detects the schedule cannot (deadlock)
+// or should not (cycle budget) continue.
+func (rt *Runtime) dispatchOne() *StallError {
 	if len(rt.ready) == 0 {
-		panic(fmt.Sprintf("taskrt: %d task(s) pending but none ready: dependency cycle", rt.pending))
+		return rt.stallError(StallDeadlock, 0)
 	}
 	minFree := rt.coreFree[rt.pickCore()]
 	// Pass 1: the earliest feasible dispatch time over all ready tasks
@@ -204,6 +232,9 @@ func (rt *Runtime) dispatchOne() {
 		if est := sim.Max(t.ReadyAt, minFree); est < bestEst {
 			bestEst = est
 		}
+	}
+	if rt.opts.MaxCycles > 0 && bestEst > rt.opts.MaxCycles {
+		return rt.stallError(StallBudget, bestEst)
 	}
 	// Pass 2: among the tasks dispatchable at that time, prefer one whose
 	// affinity core can take it without delay; otherwise the FIFO-first
@@ -227,6 +258,7 @@ func (rt *Runtime) dispatchOne() {
 	t := rt.ready[idx]
 	rt.ready = append(rt.ready[:idx], rt.ready[idx+1:]...)
 	rt.run(t, core, sim.Max(t.ReadyAt, rt.coreFree[core]))
+	return nil
 }
 
 // pickCore returns the earliest-free core of this runtime's core set,
@@ -250,6 +282,11 @@ func (rt *Runtime) run(t *Task, core int, start sim.Cycles) {
 	}
 
 	clock := start
+	if rt.opts.OnDispatch != nil {
+		d := rt.opts.OnDispatch(clock)
+		clock += d
+		rt.dispatchCost += d
+	}
 	h := rt.hooks.TaskStarting(t, core)
 	clock += h
 	rt.hookCost += h
@@ -298,6 +335,10 @@ func (rt *Runtime) HookCost() sim.Cycles { return rt.hookCost }
 // ComputeCost returns the cycles task bodies spent in pure compute
 // (Exec.Compute, including the Sweep helpers' per-block charge).
 func (rt *Runtime) ComputeCost() sim.Cycles { return rt.computeCost }
+
+// DispatchCost returns the cycles charged by the OnDispatch callback
+// (fault-injection reconfiguration work, zero on healthy runs).
+func (rt *Runtime) DispatchCost() sim.Cycles { return rt.dispatchCost }
 
 // ExecutedTasks returns how many tasks have run to completion.
 func (rt *Runtime) ExecutedTasks() int { return rt.executedTasks }

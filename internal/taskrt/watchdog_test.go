@@ -1,0 +1,144 @@
+package taskrt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tdnuca/internal/amath"
+)
+
+// wedge removes a spawned task from the ready queue and marks it as
+// waiting on a dependency that will never be satisfied — the runtime
+// state a dependency cycle or a crashed producer would leave behind.
+// The public API cannot build such a graph (dependencies only reference
+// earlier tasks in program order), which is exactly why the watchdog
+// exists: it guards against the states that should be impossible.
+func wedge(rt *Runtime, t *Task) {
+	for i, r := range rt.ready {
+		if r == t {
+			rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
+			break
+		}
+	}
+	t.state = taskCreated
+	t.unsatisfied++
+}
+
+func TestWatchdogStalls(t *testing.T) {
+	spawnBody := func(e *Exec) { e.SweepWrite(amath.NewRange(0, 4096)) }
+	tests := []struct {
+		name     string
+		build    func(rt *Runtime)
+		kind     StallKind
+		contains []string
+	}{
+		{
+			name: "never-ready task",
+			build: func(rt *Runtime) {
+				wedge(rt, rt.Spawn("orphan", []Dep{DepOn(Out, 0, 4096)}, spawnBody))
+			},
+			kind: StallDeadlock,
+			contains: []string{
+				"deadlock", "1 task(s) pending", "none ready",
+				`"orphan"`, "1 unmet dep task(s)",
+			},
+		},
+		{
+			name: "dependency cycle",
+			build: func(rt *Runtime) {
+				a := rt.Spawn("ping", []Dep{DepOn(Out, 0, 4096)}, spawnBody)
+				b := rt.Spawn("pong", []Dep{DepOn(Out, 4096, 4096)}, spawnBody)
+				wedge(rt, a)
+				wedge(rt, b)
+				a.addEdge(b)
+				b.addEdge(a)
+			},
+			kind:     StallDeadlock,
+			contains: []string{"deadlock", "2 task(s) pending", `"ping"`, `"pong"`},
+		},
+		{
+			name: "cycle budget exceeded",
+			build: func(rt *Runtime) {
+				rt.opts.MaxCycles = 1
+				rt.Spawn("runaway", []Dep{DepOn(Out, 0, 4096)}, spawnBody)
+			},
+			kind:     StallBudget,
+			contains: []string{"cycle budget exceeded", "exceeds budget 1", `"runaway"`, "ready"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRT(t)
+			tc.build(rt)
+			err := rt.WaitChecked()
+			var se *StallError
+			if !errors.As(err, &se) {
+				t.Fatalf("WaitChecked = %v, want *StallError", err)
+			}
+			if se.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", se.Kind, tc.kind)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(se.Error(), want) {
+					t.Errorf("error %q missing %q", se.Error(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestWatchdogNamesFirstFewTasks pins the memory bound: a stall with
+// many pending tasks names only the first maxStuckNamed and counts the
+// rest.
+func TestWatchdogNamesFirstFewTasks(t *testing.T) {
+	rt := newRT(t)
+	const n = maxStuckNamed + 5
+	for i := 0; i < n; i++ {
+		wedge(rt, rt.Spawn("stuck", []Dep{DepOn(Out, amath.Addr(i)*4096, 4096)},
+			func(e *Exec) {}))
+	}
+	err := rt.WaitChecked()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("WaitChecked = %v, want *StallError", err)
+	}
+	if len(se.Stuck) != maxStuckNamed || se.More != n-maxStuckNamed {
+		t.Errorf("named %d, more %d; want %d and %d", len(se.Stuck), se.More, maxStuckNamed, n-maxStuckNamed)
+	}
+	if !strings.Contains(se.Error(), "… and 5 more") {
+		t.Errorf("error %q missing overflow marker", se.Error())
+	}
+}
+
+// TestWaitPanicsOnStall keeps the legacy contract: Wait surfaces the
+// structured error as a panic value rather than hanging.
+func TestWaitPanicsOnStall(t *testing.T) {
+	rt := newRT(t)
+	wedge(rt, rt.Spawn("orphan", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) {}))
+	defer func() {
+		r := recover()
+		if _, ok := r.(*StallError); !ok {
+			t.Fatalf("Wait panicked with %v, want *StallError", r)
+		}
+	}()
+	rt.Wait()
+	t.Fatal("Wait returned on a wedged graph")
+}
+
+// TestWatchdogBudgetAllowsCompletion: a generous budget must not
+// interfere with a healthy run, and DispatchCost stays zero without an
+// OnDispatch hook.
+func TestWatchdogBudgetAllowsCompletion(t *testing.T) {
+	rt := newRT(t)
+	rt.opts.MaxCycles = 1 << 40
+	rt.Spawn("fine", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) {
+		e.SweepWrite(amath.NewRange(0, 4096))
+	})
+	if err := rt.WaitChecked(); err != nil {
+		t.Fatalf("WaitChecked = %v on a healthy graph", err)
+	}
+	if rt.DispatchCost() != 0 {
+		t.Errorf("DispatchCost = %d without an OnDispatch hook", rt.DispatchCost())
+	}
+}

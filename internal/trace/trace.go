@@ -69,6 +69,15 @@ const (
 	// EvFlushOp: one FlushL1Range/FlushBankRange operation completed.
 	// Core = target tile, Arg = blocks flushed, Aux = 0 for L1, 1 for LLC.
 	EvFlushOp
+	// EvBankRetire: an LLC bank was drained and retired (fault injection).
+	// Core = retired bank, Arg = drain cycles, Aux = remap target bank.
+	EvBankRetire
+	// EvLinkFail: a mesh link died and routes were rebuilt around it.
+	// Core = one endpoint tile, Arg = the other endpoint, Aux = direction.
+	EvLinkFail
+	// EvRRTDegrade: a core's RRT capacity was shrunk mid-run.
+	// Core = the degraded core, Arg = entries evicted, Aux = new capacity.
+	EvRRTDegrade
 
 	numKinds
 )
@@ -80,6 +89,7 @@ var kindNames = [numKinds]string{
 	"llc-hit", "llc-miss", "llc-evict",
 	"dir-upgrade", "dir-inval", "dir-forward",
 	"noc-msg", "dram-read", "dram-write", "flush-op",
+	"bank-retire", "link-fail", "rrt-degrade",
 }
 
 // String names the event kind.

@@ -160,6 +160,17 @@ func NewSystem(sc SystemConfig) (*System, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	// Policy-dependent configuration check: arch.Validate cannot know
+	// which policy will run, but a TD-NUCA variant without a region table
+	// cannot make a single placement decision.
+	if sc.Custom == nil {
+		switch kind {
+		case TDNUCA, TDBypassOnly, TDNoISA:
+			if cfg.RRTEntries <= 0 {
+				return nil, fmt.Errorf("tdnuca: policy %s requires RRTEntries > 0 (got %d)", kind, cfg.RRTEntries)
+			}
+		}
+	}
 	m, err := machine.New(&cfg, sc.FragEvery, seed)
 	if err != nil {
 		return nil, err
