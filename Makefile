@@ -15,12 +15,18 @@
 #                    checks the cycle stack sums to cores x makespan
 #   make faults-smoke degraded (fault-injected) suite checked against its
 #                    golden digests, plus worker-count independence
-#   make golden      refresh the golden suite digests (healthy and
-#                    degraded) after an intentional behavioral change
+#   make gen-smoke   generated-workload differential suite (pinned golden
+#                    digests, cross-policy access-set equality) plus one
+#                    CLI run of a generated workload on the 4x4 and 8x8
+#                    meshes
+#   make fuzz-smoke  short fuzz of the workload-generator name parser
+#                    and validator (seed corpus always runs under test)
+#   make golden      refresh the golden suite digests (healthy, degraded
+#                    and generated) after an intentional behavioral change
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke golden ci
+.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke gen-smoke fuzz-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -71,9 +77,24 @@ trace-smoke:
 faults-smoke:
 	$(GO) test ./internal/harness -run 'TestDegradedGoldenDigests|TestDegradedRunsStayCoherent|TestDegradedWorkerEquivalence'
 
-# Refreshes both golden files: the healthy suite (golden_suite.txt) and
-# the degraded suite (golden_faults.txt).
-golden:
-	$(GO) test ./internal/harness -run Golden -update
+# The generated-workload differential layer: pinned workgen seeds must
+# reproduce their golden digests with identical access sets across
+# policies and worker counts, then one CLI run exercises the 4x4 and the
+# generalized 8x8 mesh end to end (DESIGN.md §12).
+gen-smoke:
+	$(GO) test ./internal/harness -run 'TestGenerated'
+	$(GO) run ./cmd/tdnuca-experiments -gen seed=3,depth=4,width=8 -check -factor 0.0078125
+	$(GO) run ./cmd/tdnuca-experiments -gen seed=3,depth=4,width=8 -mesh 8x8 -check -factor 0.0078125
 
-ci: build lint test race bench-quick trace-smoke faults-smoke
+# Short fuzz of the generator's name parser/validator; the checked-in
+# seed corpus also runs on every plain `go test`.
+fuzz-smoke:
+	$(GO) test ./internal/workgen -run FuzzParseValidate -fuzz FuzzParseValidate -fuzztime 10s
+
+# Refreshes every golden file: the healthy suite (golden_suite.txt), the
+# degraded suite (golden_faults.txt) and the generated differential
+# suite (golden_generated.txt).
+golden:
+	$(GO) test ./internal/harness -run 'Golden|TestGeneratedGoldenDigests' -update
+
+ci: build lint test race bench-quick trace-smoke faults-smoke gen-smoke

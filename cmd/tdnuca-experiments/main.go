@@ -18,6 +18,15 @@
 //	tdnuca-experiments -faults default     # degraded suite (seeded severity-3 faults)
 //	tdnuca-experiments -faults bank=3@20000,link=1-2@50000,rrt=8@80000
 //	tdnuca-experiments -fig resilience     # makespan/traffic vs fault severity
+//	tdnuca-experiments -gen seed=3,depth=8,width=16   # generated workload
+//	tdnuca-experiments -gen seed=3 -mesh 8x8          # ... on an 8x8 mesh
+//
+// -gen runs one seeded generator workload (internal/workgen) under
+// S-NUCA, R-NUCA and TD-NUCA and prints a per-policy comparison; knobs
+// not named keep their defaults, and the canonical "gen:..." name it
+// prints is accepted anywhere a benchmark name is. -mesh swaps the 4x4
+// machine for a generalized WxH mesh (scaled per-tile caches) and
+// composes with every other mode.
 //
 // -faults runs every benchmark under S-NUCA, R-NUCA and TD-NUCA with the
 // given fault scenario injected (DESIGN.md §11) and prints the per-run
@@ -86,6 +95,9 @@ func main() {
 
 		faultSpec = flag.String("faults", "", "run the suite degraded: a fault scenario like bank=3@20000,link=1-2@50000,rrt=8@80000, or 'default' for the seeded severity-3 ladder")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for generated fault scenarios (-faults default, -fig resilience)")
+
+		genSpec = flag.String("gen", "", "run a generated workload under the core policies: knobs like seed=3,depth=8,width=16,fanout=4 (unset knobs keep defaults; schema in EXPERIMENTS.md)")
+		mesh    = flag.String("mesh", "", "override the mesh topology, e.g. 8x8 or 16x16 (scaled per-tile caches, corner memory controllers)")
 	)
 	flag.Parse()
 
@@ -101,6 +113,23 @@ func main() {
 	cfg.Factor = tdnuca.WorkloadFactor(*factor)
 	cfg.Seed = *seed
 	cfg.Arch.CheckInvariants = *check
+
+	if *mesh != "" {
+		w, h, err := parseMesh(*mesh)
+		fail(err)
+		a := tdnuca.ScaledMeshConfig(w, h)
+		a.NoCContention = cfg.Arch.NoCContention
+		a.CheckInvariants = cfg.Arch.CheckInvariants
+		cfg.Arch = a
+		fail(cfg.Arch.Validate())
+	}
+
+	if *genSpec != "" {
+		runGenerated(cfg, *genSpec, *workers, *digest)
+		if !*all && *fig == "" && *traceSpec == "" && *faultSpec == "" {
+			return
+		}
+	}
 
 	if *traceSpec != "" {
 		runTraced(cfg, *traceSpec, *traceOut, *interval)
@@ -203,6 +232,64 @@ func main() {
 		fmt.Println(rep)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// parseMesh decodes a "WxH" topology argument.
+func parseMesh(s string) (int, int, error) {
+	var w, h int
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &w, &h); err != nil || w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("bad -mesh %q: want WxH, e.g. 8x8", s)
+	}
+	return w, h, nil
+}
+
+// runGenerated executes one generator workload under the core policies
+// on the worker pool and prints the per-policy comparison (plus the
+// run digests with -digest). The access digest must agree across
+// policies — verified here too, not only in the test suite.
+func runGenerated(cfg tdnuca.ExperimentConfig, spec string, workers int, digest bool) {
+	name := spec
+	if !tdnuca.IsGeneratedName(name) {
+		name = "gen:" + name
+	}
+	p, err := tdnuca.ParseWorkloadName(name)
+	fail(err)
+	name = p.String()
+	kinds := []tdnuca.PolicyKind{tdnuca.SNUCA, tdnuca.RNUCA, tdnuca.TDNUCA}
+	jobs := make([]tdnuca.ExperimentJob, 0, len(kinds))
+	for _, k := range kinds {
+		jobs = append(jobs, tdnuca.ExperimentJob{Bench: name, Kind: k, Cfg: cfg})
+	}
+	fmt.Fprintf(os.Stderr, "generated workload %s on a %dx%d mesh...\n",
+		name, cfg.Arch.MeshWidth, cfg.Arch.MeshHeight)
+	results, err := tdnuca.RunExperiments(jobs, workers)
+	fail(err)
+
+	fmt.Printf("Generated workload %s\n", name)
+	fmt.Printf("%-22s %14s %10s %12s %16s %16s\n",
+		"policy", "cycles", "tasks", "dram-xfers", "access-digest", "digest")
+	for i, r := range results {
+		fmt.Printf("%-22s %14d %10d %12d %016x %016x\n",
+			string(kinds[i]), uint64(r.Cycles), r.Tasks,
+			r.Metrics.DRAMReads+r.Metrics.DRAMWrites, r.AccessDigest, r.Digest())
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "COHERENCE VIOLATION %s/%s: %s\n", name, kinds[i], v)
+		}
+	}
+	for _, r := range results[1:] {
+		if r.AccessDigest != results[0].AccessDigest {
+			fail(fmt.Errorf("access digest diverged across policies: %016x vs %016x",
+				r.AccessDigest, results[0].AccessDigest))
+		}
+	}
+	if digest {
+		s := make(tdnuca.Suite)
+		s[name] = map[tdnuca.PolicyKind]tdnuca.Result{}
+		for i, r := range results {
+			s[name][kinds[i]] = r
+		}
+		fmt.Print(tdnuca.DigestSuite(s).String())
+	}
 }
 
 // runDegraded executes every benchmark under the core policies with the

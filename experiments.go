@@ -5,6 +5,7 @@ import (
 	"tdnuca/internal/harness"
 	"tdnuca/internal/stats"
 	"tdnuca/internal/trace"
+	"tdnuca/internal/workgen"
 	"tdnuca/internal/workloads"
 )
 
@@ -20,6 +21,25 @@ const DefaultWorkloadFactor = workloads.DefaultFactor
 
 // Benchmarks lists the Table II benchmark names.
 func Benchmarks() []string { return workloads.Names() }
+
+// WorkloadParams is the knob set of the seeded workload generator: a
+// seed plus DAG shape (depth, width, fan-out, reuse distance), per-task
+// footprint, read/write-set overlap, per-task compute and barrier
+// period. Its String renders the canonical "gen:seed=..." benchmark
+// name, accepted everywhere a Table II name is (RunBenchmark, suites,
+// fault injection, tracing).
+type WorkloadParams = workgen.Params
+
+// DefaultWorkloadParams returns the generator's reference knob set.
+func DefaultWorkloadParams() WorkloadParams { return workgen.Default() }
+
+// ParseWorkloadName decodes a "gen:seed=..." generator name; knobs may
+// appear in any order and subset, unset ones keep their defaults.
+func ParseWorkloadName(name string) (WorkloadParams, error) { return workgen.Parse(name) }
+
+// IsGeneratedName reports whether a benchmark name addresses the
+// workload generator rather than the Table II set.
+func IsGeneratedName(name string) bool { return workgen.IsName(name) }
 
 // DefaultExperimentConfig returns the configuration every figure uses by
 // default: the scaled machine and the 1/32 workload factor.

@@ -186,6 +186,57 @@ const (
 	FaultRRTShrinkAtCycles  = 80_000
 )
 
+// MeshConfig returns the Table I machine generalized to a width x height
+// mesh: per-tile resources (L1, LLC bank, directory bank, TLB, RRT) and
+// every latency are DefaultConfig's, memory controllers sit at the four
+// mesh corners, and the replication clusters are the mesh quadrants
+// (width/2 x height/2) when both dimensions are even — the direct
+// generalization of the paper's 2x2 quadrants on the 4x4 mesh — falling
+// back to single-bank clusters otherwise. MeshConfig(4, 4) is
+// DefaultConfig exactly, corner memory controllers included.
+func MeshConfig(width, height int) Config {
+	c := DefaultConfig()
+	c.MeshWidth, c.MeshHeight = width, height
+	c.NumCores = width * height
+	c.ClusterWidth, c.ClusterHeight = 1, 1
+	if width%2 == 0 && height%2 == 0 {
+		c.ClusterWidth, c.ClusterHeight = width/2, height/2
+	}
+	c.MemCtrlTiles = cornerTiles(width, height)
+	return c
+}
+
+// ScaledMeshConfig is MeshConfig with ScaledConfig's smaller caches, the
+// right machine for generated-workload sweeps on big meshes: simulation
+// cost stays proportional to the footprint, not to Table I's 2MB banks.
+func ScaledMeshConfig(width, height int) Config {
+	c := MeshConfig(width, height)
+	c.L1Bytes = 8 << 10
+	c.LLCBankBytes = 64 << 10
+	c.DirEntriesPerBank = 2 << 10
+	return c
+}
+
+// cornerTiles returns the distinct corner tile ids of a width x height
+// mesh in ascending order — the memory-controller placement MeshConfig
+// uses, matching Table I's {0, 3, 12, 15} on the 4x4 mesh.
+func cornerTiles(width, height int) []int {
+	corners := []int{0, width - 1, (height - 1) * width, height*width - 1}
+	out := corners[:0]
+	for _, t := range corners {
+		dup := false
+		for _, seen := range out {
+			if seen == t {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // ScaledConfig returns the scaled-down machine used by the default
 // experiments: identical topology, latencies and associativities to
 // DefaultConfig, but with a 1MB LLC (64KB/bank) and 8KB L1s so that the
@@ -211,8 +262,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("arch: NumCores (%d) must equal MeshWidth*MeshHeight (%dx%d)",
 			c.NumCores, c.MeshWidth, c.MeshHeight)
 	}
-	if c.NumCores > 64 {
-		return fmt.Errorf("arch: NumCores (%d) exceeds the 64-bit mask limit", c.NumCores)
+	if c.NumCores > MaxTiles {
+		return fmt.Errorf("arch: NumCores (%d) exceeds the %d-tile mask limit", c.NumCores, MaxTiles)
 	}
 	for _, p := range []struct {
 		name string
@@ -346,6 +397,21 @@ func (c *Config) HopLatency(h int) int {
 		return 0
 	}
 	return (h+1)*c.RouterLatency + h*c.LinkLatency
+}
+
+// Diameter returns the largest Hops value over any tile pair: the
+// corner-to-corner Manhattan distance (W-1)+(H-1) of the mesh.
+func (c *Config) Diameter() int {
+	return (c.MeshWidth - 1) + (c.MeshHeight - 1)
+}
+
+// MeanHops returns the expected Hops between two independently uniform
+// tiles — the closed-form average NUCA distance of the mesh. The mean
+// absolute difference of two uniform draws from {0..n-1} is (n^2-1)/(3n),
+// summed per dimension; on the 4x4 mesh this is the paper's 2.5.
+func (c *Config) MeanHops() float64 {
+	w, h := float64(c.MeshWidth), float64(c.MeshHeight)
+	return (w*w-1)/(3*w) + (h*h-1)/(3*h)
 }
 
 // ClusterOf returns the replication-cluster id the tile belongs to.

@@ -68,7 +68,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		"no mem controllers": func(c *Config) { c.MemCtrlTiles = nil },
 		"mem ctrl OOB":       func(c *Config) { c.MemCtrlTiles = []int{99} },
 		"dir not divisible":  func(c *Config) { c.DirEntriesPerBank = 33 },
-		"too many cores":     func(c *Config) { c.NumCores = 100; c.MeshWidth = 10; c.MeshHeight = 10 },
+		"too many cores":     func(c *Config) { c.NumCores = 400; c.MeshWidth = 20; c.MeshHeight = 20 },
 	}
 	for name, mutate := range mutations {
 		c := DefaultConfig()
@@ -235,14 +235,14 @@ func TestMaskNthBit(t *testing.T) {
 	if m.NthBit(4) != -1 {
 		t.Error("NthBit past end should be -1")
 	}
-	if Mask(0).NthBit(0) != -1 {
+	if (Mask{}).NthBit(0) != -1 {
 		t.Error("NthBit on empty mask should be -1")
 	}
 }
 
 func TestMaskPropertyBitsRoundTrip(t *testing.T) {
 	f := func(v uint16) bool {
-		m := Mask(v)
+		m := MaskFromWord(uint64(v))
 		rebuilt := MaskOf(m.Bits()...)
 		if rebuilt != m {
 			return false

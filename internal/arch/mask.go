@@ -1,24 +1,44 @@
 package arch
 
 import (
-	"fmt"
 	"math/bits"
 	"strings"
 )
 
+// maskWords is the number of 64-bit words backing a Mask. Four words
+// cover MaxTiles tiles — enough for the 16x16 mesh, the largest machine
+// the generalized topology code targets.
+const maskWords = 4
+
+// MaxTiles is the largest tile count a Mask can represent, and therefore
+// the hard upper bound on NumCores (enforced by Config.Validate).
+const MaxTiles = 64 * maskWords
+
 // Mask is a bit vector over tiles, used both as the BankMask of the
 // TD-NUCA ISA instructions (which LLC banks a dependency maps to) and as
 // the CoreMask of invalidate/flush operations (which tiles are targeted).
-// Bit i corresponds to tile i. The paper's 16-tile machine uses the low
-// 16 bits; up to 64 tiles are supported.
-type Mask uint64
+// Bit i corresponds to tile i. It is a fixed-size value type: comparable
+// with ==, copied by assignment, and every operation is allocation-free
+// (Bits excepted), which the coherence hot paths rely on.
+type Mask [maskWords]uint64
 
-// MaskAll returns a mask with bits 0..n-1 set.
+// MaskAll returns a mask with bits 0..n-1 set. n beyond MaxTiles
+// saturates to the full mask.
 func MaskAll(n int) Mask {
-	if n >= 64 {
-		return ^Mask(0)
+	var m Mask
+	if n <= 0 {
+		return m
 	}
-	return Mask(1)<<uint(n) - 1
+	if n > MaxTiles {
+		n = MaxTiles
+	}
+	for w := 0; w < n/64; w++ {
+		m[w] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 {
+		m[n/64] = uint64(1)<<uint(rem) - 1
+	}
+	return m
 }
 
 // MaskOf returns a mask with exactly the given bits set.
@@ -30,21 +50,84 @@ func MaskOf(tiles ...int) Mask {
 	return m
 }
 
+// MaskFromWord returns a mask whose low 64 bits are the given word —
+// the historical uint64 representation, still handy in tests.
+func MaskFromWord(w uint64) Mask {
+	var m Mask
+	m[0] = w
+	return m
+}
+
 // Set returns m with bit i set.
-func (m Mask) Set(i int) Mask { return m | Mask(1)<<uint(i) }
+func (m Mask) Set(i int) Mask {
+	m[uint(i)/64] |= uint64(1) << (uint(i) % 64)
+	return m
+}
 
 // Clear returns m with bit i cleared.
-func (m Mask) Clear(i int) Mask { return m &^ (Mask(1) << uint(i)) }
+func (m Mask) Clear(i int) Mask {
+	m[uint(i)/64] &^= uint64(1) << (uint(i) % 64)
+	return m
+}
 
 // Has reports whether bit i is set.
-func (m Mask) Has(i int) bool { return m&(Mask(1)<<uint(i)) != 0 }
+func (m Mask) Has(i int) bool {
+	return m[uint(i)/64]&(uint64(1)<<(uint(i)%64)) != 0
+}
+
+// Or returns the union of the two masks.
+func (m Mask) Or(o Mask) Mask {
+	for w := range m {
+		m[w] |= o[w]
+	}
+	return m
+}
+
+// And returns the intersection of the two masks.
+func (m Mask) And(o Mask) Mask {
+	for w := range m {
+		m[w] &= o[w]
+	}
+	return m
+}
+
+// AndNot returns m with every bit of o cleared.
+func (m Mask) AndNot(o Mask) Mask {
+	for w := range m {
+		m[w] &^= o[w]
+	}
+	return m
+}
+
+// Contains reports whether every bit of sub is also set in m.
+func (m Mask) Contains(sub Mask) bool {
+	for w := range m {
+		if m[w]&sub[w] != sub[w] {
+			return false
+		}
+	}
+	return true
+}
 
 // Count returns the number of set bits.
-func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // IsEmpty reports whether no bits are set. An all-zero BankMask means the
 // dependency bypasses the LLC.
-func (m Mask) IsEmpty() bool { return m == 0 }
+func (m Mask) IsEmpty() bool {
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Single returns the index of the only set bit, or -1 if the popcount is
 // not exactly one. A single-bit BankMask means a local-LLC-bank mapping.
@@ -52,16 +135,21 @@ func (m Mask) Single() int {
 	if m.Count() != 1 {
 		return -1
 	}
-	return bits.TrailingZeros64(uint64(m))
+	for wi, w := range m {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // Bits returns the indices of all set bits in ascending order.
 func (m Mask) Bits() []int {
 	out := make([]int, 0, m.Count())
-	for v := uint64(m); v != 0; {
-		i := bits.TrailingZeros64(v)
-		out = append(out, i)
-		v &= v - 1
+	for wi, w := range m {
+		for v := w; v != 0; v &= v - 1 {
+			out = append(out, wi*64+bits.TrailingZeros64(v))
+		}
 	}
 	return out
 }
@@ -69,8 +157,10 @@ func (m Mask) Bits() []int {
 // EachBit calls fn with the index of every set bit in ascending order.
 // It is the allocation-free form of Bits for the coherence hot paths.
 func (m Mask) EachBit(fn func(i int)) {
-	for v := uint64(m); v != 0; v &= v - 1 {
-		fn(bits.TrailingZeros64(v))
+	for wi, w := range m {
+		for v := w; v != 0; v &= v - 1 {
+			fn(wi*64 + bits.TrailingZeros64(v))
+		}
 	}
 }
 
@@ -78,22 +168,42 @@ func (m Mask) EachBit(fn func(i int)) {
 // order, or -1 if n >= Count(). Cluster interleaving uses this to pick the
 // destination bank from the low block-address bits.
 func (m Mask) NthBit(n int) int {
-	v := uint64(m)
-	for ; v != 0; v &= v - 1 {
-		if n == 0 {
-			return bits.TrailingZeros64(v)
+	for wi, w := range m {
+		if c := bits.OnesCount64(w); n >= c {
+			n -= c
+			continue
 		}
-		n--
+		for v := w; v != 0; v &= v - 1 {
+			if n == 0 {
+				return wi*64 + bits.TrailingZeros64(v)
+			}
+			n--
+		}
 	}
 	return -1
 }
 
 // String renders the mask as a binary string (LSB = tile 0, rightmost),
-// padded to 16 bits for the common 16-tile machine.
+// padded to at least 16 bits — the historical 16-tile width — and wide
+// enough to show the highest set bit on larger machines.
 func (m Mask) String() string {
-	s := fmt.Sprintf("%b", uint64(m))
-	if len(s) < 16 {
-		s = strings.Repeat("0", 16-len(s)) + s
+	width := 16
+	for wi := maskWords - 1; wi >= 0; wi-- {
+		if m[wi] != 0 {
+			if w := wi*64 + 64 - bits.LeadingZeros64(m[wi]); w > width {
+				width = w
+			}
+			break
+		}
 	}
-	return s
+	var b strings.Builder
+	b.Grow(width)
+	for i := width - 1; i >= 0; i-- {
+		if m.Has(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,258 @@
+package arch
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// meshDims maps two random bytes onto mesh dimensions in [1,16]x[1,16],
+// the range the generalized topology code targets (16x16 = 256 tiles =
+// MaxTiles).
+func meshDims(a, b uint8) (int, int) {
+	return int(a)%16 + 1, int(b)%16 + 1
+}
+
+func TestMeshConfigMatchesDefaultOn4x4(t *testing.T) {
+	if got, want := MeshConfig(4, 4), DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("MeshConfig(4,4) = %+v\nwant DefaultConfig %+v", got, want)
+	}
+}
+
+func TestMeshConfigValidatesAcrossSizes(t *testing.T) {
+	for _, d := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {8, 8}, {8, 4}, {16, 16}, {1, 16}} {
+		c := MeshConfig(d[0], d[1])
+		if err := c.Validate(); err != nil {
+			t.Errorf("MeshConfig(%d,%d) invalid: %v", d[0], d[1], err)
+		}
+		s := ScaledMeshConfig(d[0], d[1])
+		if err := s.Validate(); err != nil {
+			t.Errorf("ScaledMeshConfig(%d,%d) invalid: %v", d[0], d[1], err)
+		}
+	}
+}
+
+func TestMeshConfigRejectsOversizedMesh(t *testing.T) {
+	c := MeshConfig(20, 20) // 400 tiles > MaxTiles
+	if err := c.Validate(); err == nil {
+		t.Error("20x20 mesh (400 tiles) accepted past the mask limit")
+	}
+	c = MeshConfig(16, 17)
+	if err := c.Validate(); err == nil {
+		t.Error("16x17 mesh (272 tiles) accepted past the mask limit")
+	}
+}
+
+func TestMeshConfigRejectsBadClusters(t *testing.T) {
+	for _, d := range [][2]int{{3, 3}, {5, 2}, {3, 4}} {
+		c := MeshConfig(8, 8)
+		c.ClusterWidth, c.ClusterHeight = d[0], d[1]
+		if err := c.Validate(); err == nil {
+			t.Errorf("%dx%d clusters on an 8x8 mesh accepted", d[0], d[1])
+		}
+	}
+}
+
+// TestMeshHopsProperties pins the metric axioms of Hops on random meshes
+// up to 16x16: identity, symmetry, the triangle inequality, and the
+// closed-form Diameter as the metric's maximum.
+func TestMeshHopsProperties(t *testing.T) {
+	f := func(a, b uint8, t1, t2, t3 uint16) bool {
+		w, h := meshDims(a, b)
+		c := MeshConfig(w, h)
+		n := c.NumCores
+		x, y, z := int(t1)%n, int(t2)%n, int(t3)%n
+		if c.Hops(x, x) != 0 {
+			return false
+		}
+		if c.Hops(x, y) != c.Hops(y, x) {
+			return false
+		}
+		if c.Hops(x, z) > c.Hops(x, y)+c.Hops(y, z) {
+			return false
+		}
+		return c.Hops(x, y) <= c.Diameter()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeshDiameterAndMeanHops checks the closed-form diameter and
+// average-distance formulas against brute force on the meshes the big
+// experiments use.
+func TestMeshDiameterAndMeanHops(t *testing.T) {
+	for _, d := range [][2]int{{4, 4}, {8, 8}, {16, 16}, {3, 7}, {1, 16}} {
+		c := MeshConfig(d[0], d[1])
+		maxHops, sum := 0, 0
+		for a := 0; a < c.NumCores; a++ {
+			for b := 0; b < c.NumCores; b++ {
+				h := c.Hops(a, b)
+				sum += h
+				if h > maxHops {
+					maxHops = h
+				}
+			}
+		}
+		if got := c.Diameter(); got != maxHops {
+			t.Errorf("%dx%d: Diameter() = %d, brute force %d", d[0], d[1], got, maxHops)
+		}
+		mean := float64(sum) / float64(c.NumCores*c.NumCores)
+		if got := c.MeanHops(); math.Abs(got-mean) > 1e-9 {
+			t.Errorf("%dx%d: MeanHops() = %g, brute force %g", d[0], d[1], got, mean)
+		}
+	}
+	four := MeshConfig(4, 4)
+	if got := four.MeanHops(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("4x4 MeanHops = %g, want the paper's 2.5", got)
+	}
+}
+
+// TestMeshClusterPartition proves the R-NUCA/TD-NUCA cluster math
+// partitions any valid mesh: every tile belongs to exactly one cluster,
+// ClusterBanks and ClusterOf agree, and ClusterMask is exactly the bank
+// set of the tile's cluster.
+func TestMeshClusterPartition(t *testing.T) {
+	f := func(a, b, cw, ch uint8) bool {
+		w, h := meshDims(a, b)
+		c := MeshConfig(w, h)
+		// Pick a cluster grid that tiles the mesh: any divisor pair.
+		c.ClusterWidth = divisorOf(w, int(cw))
+		c.ClusterHeight = divisorOf(h, int(ch))
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		seen := make([]int, c.NumCores)
+		for cl := 0; cl < c.NumClusters(); cl++ {
+			banks := c.ClusterBanks(cl)
+			if len(banks) != c.BanksPerCluster() {
+				return false
+			}
+			for _, t := range banks {
+				seen[t]++
+				if c.ClusterOf(t) != cl {
+					return false
+				}
+			}
+		}
+		for tile, n := range seen {
+			if n != 1 {
+				return false
+			}
+			want := MaskOf(c.ClusterBanks(c.ClusterOf(tile))...)
+			if c.ClusterMask(tile) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// divisorOf maps a random pick onto some divisor of n, uniformly over
+// n's divisors by index.
+func divisorOf(n, pick int) int {
+	var divs []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	return divs[pick%len(divs)]
+}
+
+// TestMeshNearestMemCtrl proves NearestMemCtrl is an argmin over the
+// controller tiles on random meshes, with the documented lowest-id tie
+// break.
+func TestMeshNearestMemCtrl(t *testing.T) {
+	f := func(a, b uint8, tile uint16) bool {
+		w, h := meshDims(a, b)
+		c := MeshConfig(w, h)
+		tl := int(tile) % c.NumCores
+		got := c.NearestMemCtrl(tl)
+		best, bestHops := -1, 1<<30
+		for _, mc := range c.MemCtrlTiles {
+			if hp := c.Hops(tl, mc); hp < bestHops || (hp == bestHops && mc < best) {
+				best, bestHops = mc, hp
+			}
+		}
+		return got == best && c.Hops(tl, got) == bestHops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaskCrossesWordBoundaries exercises the widened 256-bit mask on
+// bit positions past the old 64-bit limit, as 16x16-mesh sharer masks do.
+func TestMaskCrossesWordBoundaries(t *testing.T) {
+	m := MaskOf(0, 63, 64, 127, 128, 255)
+	if m.Count() != 6 {
+		t.Errorf("Count = %d, want 6", m.Count())
+	}
+	if got := m.Bits(); !reflect.DeepEqual(got, []int{0, 63, 64, 127, 128, 255}) {
+		t.Errorf("Bits = %v", got)
+	}
+	if m.NthBit(2) != 64 || m.NthBit(5) != 255 || m.NthBit(6) != -1 {
+		t.Errorf("NthBit = %d,%d,%d", m.NthBit(2), m.NthBit(5), m.NthBit(6))
+	}
+	if m.Clear(64).Count() != 5 || !m.Clear(64).Has(127) {
+		t.Error("Clear across words broken")
+	}
+	if MaskAll(256) != MaskAll(300) {
+		t.Error("MaskAll should saturate at MaxTiles")
+	}
+	if MaskAll(200).Count() != 200 {
+		t.Errorf("MaskAll(200).Count() = %d", MaskAll(200).Count())
+	}
+	if got := MaskOf(70).Single(); got != 70 {
+		t.Errorf("Single = %d, want 70", got)
+	}
+	union := MaskOf(5).Or(MaskOf(200))
+	if !union.Has(5) || !union.Has(200) || union.Count() != 2 {
+		t.Error("Or across words broken")
+	}
+	if !MaskAll(256).Contains(m) || m.Contains(MaskAll(256)) {
+		t.Error("Contains across words broken")
+	}
+	if got := MaskAll(130).AndNot(MaskAll(64)).Count(); got != 66 {
+		t.Errorf("AndNot across words = %d bits, want 66", got)
+	}
+	var sum int
+	m.EachBit(func(i int) { sum += i })
+	if sum != 0+63+64+127+128+255 {
+		t.Errorf("EachBit sum = %d", sum)
+	}
+}
+
+// TestMaskPropertyMultiWord is the multi-word generalization of the
+// Bits round-trip property: any pair of 64-bit words placed at word
+// positions 0 and 2 survives Bits -> MaskOf and keeps ascending order.
+func TestMaskPropertyMultiWord(t *testing.T) {
+	f := func(lo, hi uint16) bool {
+		m := MaskFromWord(uint64(lo))
+		for _, bit := range MaskFromWord(uint64(hi)).Bits() {
+			m = m.Set(bit + 128)
+		}
+		rebuilt := MaskOf(m.Bits()...)
+		if rebuilt != m {
+			return false
+		}
+		bits := m.Bits()
+		for i, bit := range bits {
+			if m.NthBit(i) != bit {
+				return false
+			}
+			if i > 0 && bits[i-1] >= bit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -41,9 +41,9 @@ func (mg *Manager) BankRetired(bank int) sim.Cycles {
 			// are gone: reset to unmapped. The untracked bookkeeping is
 			// kept — interleaved copies live in surviving banks and must
 			// still be flushed at the next transition.
-			e.MapMask = 0
+			e.MapMask = arch.Mask{}
 			e.kind = mapNone
-			e.registeredCores = 0
+			e.registeredCores = arch.Mask{}
 		case e.kind == mapCluster && e.MapMask.Has(bank):
 			// The dead bank's share of each replica is gone; surviving
 			// replica banks keep serving. Cores whose cluster-mask entries
@@ -77,8 +77,8 @@ func (mg *Manager) DegradeRRT(core, newCapacity int) sim.Cycles {
 		}
 		cyc += mg.flushEverywhere(core, e)
 		cyc += mg.tdnucaInvalidate(core, e.Range, e.registeredCores)
-		e.registeredCores = 0
-		e.MapMask = 0
+		e.registeredCores = arch.Mask{}
+		e.MapMask = arch.Mask{}
 		e.kind = mapNone
 		e.untracked = nil
 		e.dirtyUntracked = false

@@ -344,9 +344,9 @@ func (mg *Manager) TaskStarting(t *taskrt.Task, core int) sim.Cycles {
 			cyc += mg.flushEverywhere(core, e)
 			if !e.registeredCores.IsEmpty() {
 				cyc += mg.tdnucaInvalidate(core, e.Range, e.registeredCores)
-				e.registeredCores = 0
+				e.registeredCores = arch.Mask{}
 			}
-			e.MapMask = 0
+			e.MapMask = arch.Mask{}
 			e.kind = mapNone
 			e.untracked = nil
 			e.dirtyUntracked = false
@@ -357,7 +357,7 @@ func (mg *Manager) TaskStarting(t *taskrt.Task, core int) sim.Cycles {
 		switch dec {
 		case DecideBypass:
 			mg.stats.Bypasses++
-			cyc += mg.tdnucaRegister(core, e, 0)
+			cyc += mg.tdnucaRegister(core, e, arch.Mask{})
 			e.registeredCores = e.registeredCores.Set(core)
 		case DecideLocal:
 			mg.stats.LocalMappings++
@@ -382,7 +382,7 @@ func (mg *Manager) TaskStarting(t *taskrt.Task, core int) sim.Cycles {
 			if !e.registeredCores.Has(core) {
 				mask := mg.cfg.ClusterMask(core)
 				cyc += mg.tdnucaRegister(core, e, mask)
-				e.MapMask |= mask
+				e.MapMask = e.MapMask.Or(mask)
 				e.kind = mapCluster
 				e.registeredCores = e.registeredCores.Set(core)
 			}
@@ -427,12 +427,12 @@ func (mg *Manager) reuseMask(core int, e *DirEntry) arch.Mask {
 		return arch.MaskOf(e.localCore)
 	}
 	own := mg.cfg.ClusterMask(core)
-	if e.MapMask&own == own {
+	if e.MapMask.Contains(own) {
 		return own
 	}
 	for cl := 0; cl < mg.cfg.NumClusters(); cl++ {
 		m := mg.cfg.ClusterMask(mg.cfg.ClusterBanks(cl)[0])
-		if e.MapMask&m == m {
+		if e.MapMask.Contains(m) {
 			return m
 		}
 	}
@@ -469,9 +469,9 @@ func (mg *Manager) TaskEnded(t *taskrt.Task, core int) sim.Cycles {
 			cyc += mg.tdnucaFlush(core, e.Range, LevelLLC, e.MapMask)
 			cyc += mg.flushUntracked(e)
 			cyc += mg.tdnucaInvalidate(core, e.Range, e.registeredCores)
-			e.MapMask = 0
+			e.MapMask = arch.Mask{}
 			e.kind = mapNone
-			e.registeredCores = 0
+			e.registeredCores = arch.Mask{}
 			e.dirtyUntracked = false
 			e.usedUntracked = false
 		case DecideRemote:
@@ -482,7 +482,7 @@ func (mg *Manager) TaskEnded(t *taskrt.Task, core int) sim.Cycles {
 				// core's private cache and the local bank, then clear the
 				// RRT entry, at every task end.
 				cyc += mg.tdnucaFlush(core, e.Range, LevelPrivate, coreMask)
-				cyc += mg.tdnucaFlush(core, e.Range, LevelLLC, e.MapMask&coreMask)
+				cyc += mg.tdnucaFlush(core, e.Range, LevelLLC, e.MapMask.And(coreMask))
 				cyc += mg.flushUntracked(e)
 				cyc += mg.tdnucaInvalidate(core, e.Range, coreMask)
 				e.MapMask = e.MapMask.Clear(core)

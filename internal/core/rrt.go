@@ -61,7 +61,7 @@ func (r *RRT) Lookup(asid int, pa amath.Addr) (arch.Mask, bool) {
 			return r.entries[i].Mask, true
 		}
 	}
-	return 0, false
+	return arch.Mask{}, false
 }
 
 // Insert registers a physical range with its BankMask under the given

@@ -27,10 +27,10 @@ func TestRRTLookupHitMiss(t *testing.T) {
 
 func TestRRTNoReplacementWhenFull(t *testing.T) {
 	r := NewRRT(2)
-	if !r.Insert(0, amath.NewRange(0, 64), 1) || !r.Insert(0, amath.NewRange(64, 64), 2) {
+	if !r.Insert(0, amath.NewRange(0, 64), arch.MaskFromWord(1)) || !r.Insert(0, amath.NewRange(64, 64), arch.MaskFromWord(2)) {
 		t.Fatal("inserts into empty table failed")
 	}
-	if r.Insert(0, amath.NewRange(128, 64), 4) {
+	if r.Insert(0, amath.NewRange(128, 64), arch.MaskFromWord(4)) {
 		t.Error("insert into full table succeeded")
 	}
 	if r.InsertFailures() != 1 {
@@ -47,7 +47,7 @@ func TestRRTNoReplacementWhenFull(t *testing.T) {
 
 func TestRRTEmptyRangeInsertIsNoop(t *testing.T) {
 	r := NewRRT(1)
-	if !r.Insert(0, amath.Range{}, 1) {
+	if !r.Insert(0, amath.Range{}, arch.MaskFromWord(1)) {
 		t.Error("empty-range insert failed")
 	}
 	if r.Len() != 0 {
@@ -57,9 +57,9 @@ func TestRRTEmptyRangeInsertIsNoop(t *testing.T) {
 
 func TestRRTRemoveOverlapping(t *testing.T) {
 	r := NewRRT(8)
-	r.Insert(0, amath.NewRange(0, 128), 1)
-	r.Insert(0, amath.NewRange(256, 128), 2)
-	r.Insert(0, amath.NewRange(512, 128), 4)
+	r.Insert(0, amath.NewRange(0, 128), arch.MaskFromWord(1))
+	r.Insert(0, amath.NewRange(256, 128), arch.MaskFromWord(2))
+	r.Insert(0, amath.NewRange(512, 128), arch.MaskFromWord(4))
 	if n := r.RemoveOverlapping(0, amath.NewRange(100, 300)); n != 2 {
 		t.Errorf("removed %d entries, want 2", n)
 	}
@@ -73,9 +73,9 @@ func TestRRTRemoveOverlapping(t *testing.T) {
 
 func TestRRTOccupancyStats(t *testing.T) {
 	r := NewRRT(8)
-	r.Insert(0, amath.NewRange(0, 64), 1)          // occ 1
-	r.Insert(0, amath.NewRange(64, 64), 1)         // occ 2
-	r.Insert(0, amath.NewRange(128, 64), 1)        // occ 3
+	r.Insert(0, amath.NewRange(0, 64), arch.MaskFromWord(1))          // occ 1
+	r.Insert(0, amath.NewRange(64, 64), arch.MaskFromWord(1))         // occ 2
+	r.Insert(0, amath.NewRange(128, 64), arch.MaskFromWord(1))        // occ 3
 	r.RemoveOverlapping(0, amath.NewRange(0, 192)) // occ 0
 	if r.MaxOccupancy() != 3 {
 		t.Errorf("max occupancy = %d, want 3", r.MaxOccupancy())
@@ -172,7 +172,7 @@ func TestRRTSetCapacity(t *testing.T) {
 	if r.Len() != 2 {
 		t.Errorf("Len = %d after shrink", r.Len())
 	}
-	if r.Insert(0, amath.NewRange(1<<20, 64), 1) {
+	if r.Insert(0, amath.NewRange(1<<20, 64), arch.MaskFromWord(1)) {
 		t.Error("insert into a shrunk-full table succeeded")
 	}
 	// Disabling entirely: capacity 0 evicts everything and rejects all
@@ -180,7 +180,7 @@ func TestRRTSetCapacity(t *testing.T) {
 	if got := r.SetCapacity(0); len(got) != 2 {
 		t.Errorf("disable evicted %d, want 2", len(got))
 	}
-	if r.Insert(0, amath.NewRange(2<<20, 64), 1) {
+	if r.Insert(0, amath.NewRange(2<<20, 64), arch.MaskFromWord(1)) {
 		t.Error("insert into a disabled table succeeded")
 	}
 	if got := r.SetCapacity(-3); len(got) != 0 || r.Len() != 0 {

@@ -148,7 +148,7 @@ func TestInjectorAppliesDueEvents(t *testing.T) {
 	if cyc := inj.Advance(50); cyc != 0 {
 		t.Errorf("Advance(50) charged %d cycles before any event was due", cyc)
 	}
-	if m.RetiredBanks() != 0 || inj.Exhausted() {
+	if !m.RetiredBanks().IsEmpty() || inj.Exhausted() {
 		t.Error("events applied early")
 	}
 	if cyc := inj.Advance(100); cyc < arch.FaultBankRetireCycles {

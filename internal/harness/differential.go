@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"tdnuca/internal/taskrt"
+)
+
+// This file is the differential-testing layer: policies are compared
+// not by their performance (which legitimately differs) but by the
+// program-level invariants every policy must preserve — the task
+// graph's access set, and bit-level determinism across worker counts
+// and repeated runs.
+
+// accessDigest fingerprints the task graph's access set in creation
+// order: task IDs, names, and each dependency's mode and exact virtual
+// range. Placement, caching and scheduling never appear in it, so it is
+// invariant across policies by construction of the runtime (the TDG is
+// built in program order before any policy decision can observe it).
+func accessDigest(tasks []*taskrt.Task) uint64 {
+	h := newFNV()
+	h.u64(uint64(len(tasks)))
+	for _, t := range tasks {
+		h.u64(uint64(t.ID))
+		h.str(t.Name)
+		h.u64(uint64(len(t.Deps)))
+		for _, d := range t.Deps {
+			h.byte(byte(d.Mode))
+			h.u64(uint64(d.Range.Start))
+			h.u64(d.Range.Size)
+		}
+	}
+	return uint64(h)
+}
+
+// VerifyAccessInvariance checks the cross-policy differential property:
+// within each benchmark, every result must carry the same AccessDigest
+// regardless of policy. A mismatch means a policy perturbed the program
+// it was supposed to merely place — the strongest kind of simulator bug.
+func VerifyAccessInvariance(results []Result) error {
+	want := map[string]uint64{}
+	names := []string{}
+	for _, r := range results {
+		if _, ok := want[r.Benchmark]; !ok {
+			want[r.Benchmark] = r.AccessDigest
+			names = append(names, r.Benchmark)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, r := range results {
+			if r.Benchmark == name && r.AccessDigest != want[name] {
+				return fmt.Errorf("harness: %s under %s has access digest %016x, other policies %016x",
+					name, r.Policy, r.AccessDigest, want[name])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyRunsIdentical checks bit-level determinism between two result
+// sets from the same job list (e.g. different worker counts): every
+// pair must match in full digest, cycles and access digest.
+func VerifyRunsIdentical(a, b []Result) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("harness: result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Benchmark != b[i].Benchmark || a[i].Policy != b[i].Policy {
+			return fmt.Errorf("harness: result %d names differ: %s/%s vs %s/%s",
+				i, a[i].Benchmark, a[i].Policy, b[i].Benchmark, b[i].Policy)
+		}
+		if a[i].Cycles != b[i].Cycles || a[i].Digest() != b[i].Digest() || a[i].AccessDigest != b[i].AccessDigest {
+			return fmt.Errorf("harness: %s under %s diverged: cycles %d vs %d, digest %016x vs %016x",
+				a[i].Benchmark, a[i].Policy, a[i].Cycles, b[i].Cycles, a[i].Digest(), b[i].Digest())
+		}
+	}
+	return nil
+}
+
+// DRAMTraffic is the total DRAM transfer count of a run, the metamorphic
+// tests' monotone observable: under S-NUCA (no replication, no bypass
+// heuristics that depend on footprint thresholds) growing a workload's
+// footprint can only add unique blocks, never remove compulsory misses.
+func (r Result) DRAMTraffic() uint64 {
+	return r.Metrics.DRAMReads + r.Metrics.DRAMWrites
+}

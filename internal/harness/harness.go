@@ -18,6 +18,7 @@ import (
 	"tdnuca/internal/sim"
 	"tdnuca/internal/taskrt"
 	"tdnuca/internal/trace"
+	"tdnuca/internal/workgen"
 	"tdnuca/internal/workloads"
 )
 
@@ -87,6 +88,14 @@ type Result struct {
 	HookCost     sim.Cycles
 	CreationCost sim.Cycles
 
+	// AccessDigest fingerprints the task graph's access set: every task's
+	// name and exact dependency ranges/modes, in creation order. It is a
+	// function of the program, not of the policy or the worker pool, so
+	// every PolicyKind must produce the same value for one benchmark —
+	// the anchor of the differential tests. Tagged out of Digest so its
+	// introduction leaves previously pinned goldens untouched.
+	AccessDigest uint64 `digest:"-"`
+
 	// Stack decomposes NumCores*Cycles into where the time went; its
 	// Total() equals that product exactly (asserted by tests). Filled
 	// identically whether or not tracing is attached.
@@ -145,10 +154,29 @@ func validatePolicy(kind PolicyKind, a *arch.Config) error {
 	return nil
 }
 
+// resolveSpec looks a benchmark up by name: the Table II set first, then
+// the workload generator's "gen:" scheme (internal/workgen). Every
+// harness entry point resolves through here, so generated workloads flow
+// through suites, fault injection, tracing and the worker pool exactly
+// like the hand-written benchmarks.
+func resolveSpec(bench string, f workloads.Factor) (workloads.Spec, error) {
+	if spec, ok := workloads.Get(bench, f); ok {
+		return spec, nil
+	}
+	if workgen.IsName(bench) {
+		p, err := workgen.Parse(bench)
+		if err != nil {
+			return workloads.Spec{}, err
+		}
+		return workgen.New(p, f)
+	}
+	return workloads.Spec{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+}
+
 func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults.Scenario) (Result, *trace.Data, faults.Stats, error) {
-	spec, ok := workloads.Get(bench, cfg.Factor)
-	if !ok {
-		return Result{}, nil, faults.Stats{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+	spec, err := resolveSpec(bench, cfg.Factor)
+	if err != nil {
+		return Result{}, nil, faults.Stats{}, err
 	}
 	if err := validatePolicy(kind, &cfg.Arch); err != nil {
 		return Result{}, nil, faults.Stats{}, err
@@ -224,6 +252,7 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults
 		Violations:      m.Violations(),
 	}
 	res.TLBHits, res.TLBMisses = m.TLBStats()
+	res.AccessDigest = accessDigest(rt.Tasks())
 	var depKB float64
 	for _, t := range rt.Tasks() {
 		var bytes uint64

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"tdnuca/internal/arch"
 	"tdnuca/internal/workloads"
 )
 
@@ -144,12 +146,24 @@ func TestSuiteAndMainFigures(t *testing.T) {
 }
 
 func TestTableIRendersConfig(t *testing.T) {
-	tbl := TableI(DefaultConfig())
+	cfg := DefaultConfig()
+	tbl := TableI(cfg)
 	s := tbl.String()
-	for _, want := range []string{"16 cores", "4x4 mesh", "RRT", "pseudoLRU"} {
+	// The topology strings derive from the config, not from a hard-coded
+	// 4x4 assumption: the same renderer must describe any mesh.
+	for _, want := range []string{
+		fmt.Sprintf("%d cores", cfg.Arch.NumCores),
+		fmt.Sprintf("%dx%d mesh", cfg.Arch.MeshWidth, cfg.Arch.MeshHeight),
+		"RRT", "pseudoLRU",
+	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Table I missing %q:\n%s", want, s)
 		}
+	}
+	big := cfg
+	big.Arch = arch.ScaledMeshConfig(8, 8)
+	if s := TableI(big).String(); !strings.Contains(s, "64 cores, 8x8 mesh") {
+		t.Errorf("Table I on an 8x8 mesh does not describe it:\n%s", s)
 	}
 }
 

@@ -27,8 +27,8 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // RunMany reports configuration errors deterministically (lowest job
 // index first) regardless of scheduling.
 func (j Job) validate() error {
-	if _, ok := workloads.Get(j.Bench, j.Cfg.Factor); !ok {
-		return fmt.Errorf("harness: unknown benchmark %q", j.Bench)
+	if _, err := resolveSpec(j.Bench, j.Cfg.Factor); err != nil {
+		return err
 	}
 	switch j.Kind {
 	case SNUCA, RNUCA, TDNUCA, TDBypassOnly, TDNoISA:

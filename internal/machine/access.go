@@ -2,6 +2,7 @@ package machine
 
 import (
 	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
 	"tdnuca/internal/cache"
 	"tdnuca/internal/sim"
 	"tdnuca/internal/trace"
@@ -162,7 +163,7 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 		e := b.dir.ref(block)
 		if write {
 			lat += m.invalidateCopies(bank, pa, e, core, now+lat)
-			e.sharers = 0
+			e.sharers = arch.Mask{}
 			e.owner = core
 			// The LLC copy is now stale until the owner writes back; the
 			// directory owner field covers reads in the meantime.
@@ -261,7 +262,7 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 	}
 	e := b.dir.ref(block)
 	lat += m.invalidateCopies(bank, pa, e, core, now+lat)
-	e.sharers = 0
+	e.sharers = arch.Mask{}
 	e.owner = core
 	if !m.L1s[core].SetState(pa, cache.Modified) {
 		// The policy's transition flush (e.g. R-NUCA demoting a written

@@ -17,7 +17,7 @@ import (
 func TestRetirementMapProperties(t *testing.T) {
 	cfg := arch.ScaledConfig()
 	f := func(rawMask uint16) bool {
-		retired := arch.Mask(rawMask) & (arch.Mask(1)<<cfg.NumCores - 1)
+		retired := arch.MaskFromWord(uint64(rawMask)).And(arch.MaskAll(cfg.NumCores))
 		if retired.Count() == cfg.NumCores {
 			retired = retired.Clear(0) // RetireBank never allows zero survivors
 		}

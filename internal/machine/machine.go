@@ -354,7 +354,7 @@ func (m *Machine) ResolveBank(pl Placement, pa amath.Addr) int {
 	default:
 		panic("machine: ResolveBank on Bypass placement")
 	}
-	if m.retired != 0 {
+	if !m.retired.IsEmpty() {
 		m.verifyBankAlive(bank)
 	}
 	return bank

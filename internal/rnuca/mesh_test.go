@@ -1,0 +1,120 @@
+package rnuca
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+)
+
+// newMeshM builds a coherence-checked machine with R-NUCA attached on a
+// generalized mesh.
+func newMeshM(t *testing.T, w, h int) (*machine.Machine, *RNUCA) {
+	t.Helper()
+	cfg := arch.ScaledMeshConfig(w, h)
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	p := New(m)
+	p.AssumeInitWritten = false
+	m.SetPolicy(p)
+	return m, p
+}
+
+// TestBigMeshPrivatePlacementIsLocal: on 8x8 and 16x16 meshes a
+// first-touch (private) page is placed in the accessor's local bank —
+// NUCA distance 0 — for seeded random cores and pages.
+func TestBigMeshPrivatePlacementIsLocal(t *testing.T) {
+	for _, d := range [][2]int{{8, 8}, {16, 16}} {
+		m, p := newMeshM(t, d[0], d[1])
+		cfg := m.Cfg
+		nextPage := uint64(0x100) // fresh page per iteration, never re-touched
+		f := func(core uint16) bool {
+			c := int(core) % cfg.NumCores
+			nextPage++
+			va := amath.Addr(nextPage * uint64(cfg.PageBytes))
+			before := m.Metrics()
+			m.Access(c, va, false)
+			after := m.Metrics()
+			pa := m.AS.Translate(va)
+			if cl, ok := p.PageClass(pa); !ok || cl != ClassPrivate {
+				return false
+			}
+			// Local-bank placement: the LLC fill added zero NUCA distance.
+			return after.NUCADistSum == before.NUCADistSum &&
+				after.NUCADistCnt == before.NUCADistCnt+1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%dx%d: %v", d[0], d[1], err)
+		}
+		for _, v := range m.Violations() {
+			t.Errorf("%dx%d coherence violation: %s", d[0], d[1], v)
+		}
+	}
+}
+
+// TestBigMeshSharedROReplicationUsesLocalCluster: a read-only page shared
+// across clusters is replicated, and each reader's placement mask is its
+// own cluster's bank set (the generalized quadrant math), for every
+// cluster of the 8x8 mesh.
+func TestBigMeshSharedROReplicationUsesLocalCluster(t *testing.T) {
+	m, p := newMeshM(t, 8, 8)
+	cfg := m.Cfg
+	const va = amath.Addr(0x40_0000)
+	// One reader per cluster: the page becomes shared-RO after the second
+	// reader and must then be served from each reader's local cluster.
+	for cl := 0; cl < cfg.NumClusters(); cl++ {
+		core := cfg.ClusterBanks(cl)[0]
+		m.Access(core, va, false)
+	}
+	pa := m.AS.Translate(va)
+	if got, _ := p.PageClass(pa); got != ClassSharedRO {
+		t.Fatalf("class = %v, want shared-ro", got)
+	}
+	for cl := 0; cl < cfg.NumClusters(); cl++ {
+		core := cfg.ClusterBanks(cl)[1]
+		pl, _ := p.Place(machine.AccessContext{Core: core, VA: va, PA: pa})
+		if pl.Kind != machine.BankSet {
+			t.Fatalf("cluster %d: placement kind %v, want BankSet", cl, pl.Kind)
+		}
+		if want := cfg.ClusterMask(core); pl.Set != want {
+			t.Errorf("cluster %d: mask %v, want local cluster %v", cl, pl.Set, want)
+		}
+		// Every bank in the replica set is inside the reader's cluster.
+		for _, b := range pl.Set.Bits() {
+			if cfg.ClusterOf(b) != cfg.ClusterOf(core) {
+				t.Errorf("cluster %d: replica bank %d outside reader's cluster", cl, b)
+			}
+		}
+	}
+	for _, v := range m.Violations() {
+		t.Errorf("coherence violation: %s", v)
+	}
+}
+
+// TestBigMeshWriteDemotesAcrossClusters: writing a replicated page on a
+// 16x16 mesh (256 tiles — masks past the old 64-bit word) flushes every
+// replica and demotes the page chip-wide.
+func TestBigMeshWriteDemotesAcrossClusters(t *testing.T) {
+	m, p := newMeshM(t, 16, 16)
+	cfg := m.Cfg
+	const va = amath.Addr(0x40_0000)
+	for cl := 0; cl < cfg.NumClusters(); cl++ {
+		m.Access(cfg.ClusterBanks(cl)[0], va, false)
+	}
+	pa := m.AS.Translate(va)
+	if got, _ := p.PageClass(pa); got != ClassSharedRO {
+		t.Fatalf("class = %v, want shared-ro", got)
+	}
+	m.Access(cfg.NumCores-1, va, true) // tile 255: the highest mask bit
+	if got, _ := p.PageClass(pa); got != ClassShared {
+		t.Fatalf("class after write = %v, want shared", got)
+	}
+	if p.Stats().SharedROToShared != 1 {
+		t.Errorf("SharedROToShared = %d, want 1", p.Stats().SharedROToShared)
+	}
+	for _, v := range m.Violations() {
+		t.Errorf("coherence violation: %s", v)
+	}
+}

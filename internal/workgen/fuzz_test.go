@@ -1,0 +1,46 @@
+package workgen
+
+import "testing"
+
+// FuzzParseValidate fuzzes the generator-name parser and the parameter
+// validator: any accepted name must round-trip through the canonical
+// String spelling, and validation must classify it without panicking.
+// Small valid parameter sets additionally expand end to end.
+func FuzzParseValidate(f *testing.F) {
+	f.Add(Default().String())
+	f.Add("gen:")
+	f.Add("gen:seed=7")
+	f.Add("gen:seed=3,depth=4,width=8,fanout=3,reuse=2,bytes=4096,overlap=100,inout=100,compute=10,wait=1")
+	f.Add("gen:width=0")
+	f.Add("gen:bytes=18446744073709551615")
+	f.Add("gen:depth=-1")
+	f.Add("gen:seed=1,seed=2")
+	f.Add("gen:turbo=9")
+	f.Add("Jacobi")
+	f.Add("gen:seed")
+	f.Add("gen:=,=")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := Parse(name)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical name %q does not re-parse: %v", canon, err)
+		}
+		if q != p {
+			t.Fatalf("round trip changed params: %+v -> %+v", p, q)
+		}
+		if p.Validate() != nil {
+			return
+		}
+		// The envelope admits graphs far too big for a fuzz iteration;
+		// expand only small ones, where most structural bugs live.
+		if p.Depth*p.Width <= 64 && p.Bytes <= 1<<20 {
+			if _, err := New(p, 1.0/64.0); err != nil {
+				t.Fatalf("valid params %+v failed to expand: %v", p, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package workgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix marks a benchmark name as a generator invocation. Everything
+// after it is a comma-separated knob list, e.g.
+// "gen:seed=7,depth=8,width=16".
+const Prefix = "gen:"
+
+// IsName reports whether the benchmark name addresses the generator.
+func IsName(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// String renders the canonical generator name: every knob, fixed order,
+// so equal Params always print identically and the printed name is a
+// stable digest key.
+func (p Params) String() string {
+	return fmt.Sprintf("gen:seed=%d,depth=%d,width=%d,fanout=%d,reuse=%d,bytes=%d,overlap=%d,inout=%d,compute=%d,wait=%d",
+		p.Seed, p.Depth, p.Width, p.Fanout, p.Reuse, p.Bytes, p.Overlap, p.InOut, p.Compute, p.Wait)
+}
+
+// Parse decodes a generator name. Knobs may appear in any order and any
+// subset; unset knobs keep their Default values. Parse(p.String()) == p
+// for every p, and String(Parse(name)) is the canonical spelling of
+// name. Parse does not validate ranges — New does, so a syntactically
+// well-formed but out-of-envelope name still fails loudly.
+func Parse(name string) (Params, error) {
+	p := Default()
+	if !IsName(name) {
+		return p, fmt.Errorf("workgen: name %q lacks the %q prefix", name, Prefix)
+	}
+	body := strings.TrimPrefix(name, Prefix)
+	if body == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("workgen: knob %q is not key=value", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("workgen: knob %s: %v", k, err)
+			}
+			p.Seed = n
+		case "bytes":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("workgen: knob %s: %v", k, err)
+			}
+			p.Bytes = n
+		case "depth", "width", "fanout", "reuse", "overlap", "inout", "compute", "wait":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return p, fmt.Errorf("workgen: knob %s: %v", k, err)
+			}
+			switch k {
+			case "depth":
+				p.Depth = int(n)
+			case "width":
+				p.Width = int(n)
+			case "fanout":
+				p.Fanout = int(n)
+			case "reuse":
+				p.Reuse = int(n)
+			case "overlap":
+				p.Overlap = int(n)
+			case "inout":
+				p.InOut = int(n)
+			case "compute":
+				p.Compute = int(n)
+			case "wait":
+				p.Wait = int(n)
+			}
+		default:
+			return p, fmt.Errorf("workgen: unknown knob %q", k)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,285 @@
+// Package workgen generates seeded random task-dataflow workloads. A
+// Params value (seed plus structural knobs: depth, width, fan-out, reuse
+// distance, per-task footprint, read/write-set overlap, per-task
+// compute) deterministically expands into a workloads.Spec whose Build
+// spawns a layered task DAG on the runtime. Because the expansion is
+// driven entirely by the simulator's own seeded RNG, the same Params
+// always produce byte-identical task graphs — generated workloads are
+// digest-stable and flow through every harness path (golden digests,
+// RunMany, fault injection, cycle stacks, tracing) exactly like the
+// hand-written Table II benchmarks.
+//
+// The generated shape: Width root tasks each read a private input chunk;
+// every task in layer L > 0 reads Fanout distinct parent outputs drawn
+// from the previous Reuse layers and writes its own output block.
+// Overlap biases reads toward a small hot set of the previous layer
+// (read-set sharing, the replication-friendly pattern); InOut promotes
+// reads to in/out dependencies (write-set overlap, serialization
+// chains); Wait inserts taskwait barriers every Wait layers, shrinking
+// the synchronization window the way the stencil benchmarks do.
+package workgen
+
+import (
+	"fmt"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/sim"
+	"tdnuca/internal/taskrt"
+	"tdnuca/internal/workloads"
+)
+
+// Params is the full knob set of the generator. The zero value is not
+// valid; start from Default.
+type Params struct {
+	// Seed drives every structural choice. Same seed, same DAG.
+	Seed uint64
+	// Depth is the number of DAG layers.
+	Depth int
+	// Width is the number of tasks per layer.
+	Width int
+	// Fanout is how many distinct parent outputs each non-root task
+	// reads (clamped to the number of reachable parents).
+	Fanout int
+	// Reuse is the reuse distance in layers: reads reach at most Reuse
+	// layers back.
+	Reuse int
+	// Bytes is the unscaled output footprint of one task; the memory
+	// Factor scales it like the Table II inputs.
+	Bytes uint64
+	// Overlap is the percentage [0,100] of reads biased into the hot
+	// parent set (the first quarter of the previous layer).
+	Overlap int
+	// InOut is the percentage [0,100] of reads promoted to in/out
+	// dependencies, overlapping the write sets of sibling tasks.
+	InOut int
+	// Compute is extra pure-compute cycles charged per task on top of
+	// the per-block sweep cost.
+	Compute int
+	// Wait inserts a taskwait barrier after every Wait layers; 0 means a
+	// single final barrier.
+	Wait int
+}
+
+// Default returns the reference parameter set: a medium DAG whose
+// footprint suits the scaled 1MB-LLC machine at the default factor.
+func Default() Params {
+	return Params{
+		Seed:    1,
+		Depth:   8,
+		Width:   16,
+		Fanout:  2,
+		Reuse:   2,
+		Bytes:   512 << 10,
+		Overlap: 50,
+		InOut:   10,
+		Compute: 0,
+		Wait:    0,
+	}
+}
+
+// Generator limits: large enough for any experiment in the repo, small
+// enough that a hostile name cannot ask for unbounded memory.
+const (
+	maxDepth     = 256
+	maxWidth     = 1024
+	maxTasks     = 1 << 16
+	maxTaskBytes = 16 << 20
+	maxFootprint = 1 << 31
+	maxCompute   = 1 << 20
+)
+
+// Validate rejects parameter sets outside the generator's envelope.
+func (p Params) Validate() error {
+	switch {
+	case p.Depth < 1 || p.Depth > maxDepth:
+		return fmt.Errorf("workgen: depth %d outside [1,%d]", p.Depth, maxDepth)
+	case p.Width < 1 || p.Width > maxWidth:
+		return fmt.Errorf("workgen: width %d outside [1,%d]", p.Width, maxWidth)
+	case p.Depth*p.Width > maxTasks:
+		return fmt.Errorf("workgen: %d tasks exceed the %d-task cap", p.Depth*p.Width, maxTasks)
+	case p.Fanout < 0 || p.Fanout > 64:
+		return fmt.Errorf("workgen: fanout %d outside [0,64]", p.Fanout)
+	case p.Reuse < 1 || p.Reuse > p.Depth:
+		return fmt.Errorf("workgen: reuse %d outside [1,depth=%d]", p.Reuse, p.Depth)
+	case p.Bytes < 64 || p.Bytes > maxTaskBytes:
+		return fmt.Errorf("workgen: bytes %d outside [64,%d]", p.Bytes, maxTaskBytes)
+	case uint64(p.Depth+1)*uint64(p.Width)*p.Bytes > maxFootprint:
+		return fmt.Errorf("workgen: footprint %d exceeds %d bytes", uint64(p.Depth+1)*uint64(p.Width)*p.Bytes, maxFootprint)
+	case p.Overlap < 0 || p.Overlap > 100:
+		return fmt.Errorf("workgen: overlap %d%% outside [0,100]", p.Overlap)
+	case p.InOut < 0 || p.InOut > 100:
+		return fmt.Errorf("workgen: inout %d%% outside [0,100]", p.InOut)
+	case p.Compute < 0 || p.Compute > maxCompute:
+		return fmt.Errorf("workgen: compute %d outside [0,%d]", p.Compute, maxCompute)
+	case p.Wait < 0 || p.Wait > p.Depth:
+		return fmt.Errorf("workgen: wait %d outside [0,depth=%d]", p.Wait, p.Depth)
+	}
+	return nil
+}
+
+// node is one pre-expanded task of the plan: Build replays nodes in
+// order, so repeated Builds of one Spec spawn identical graphs.
+type node struct {
+	name string
+	deps []taskrt.Dep
+}
+
+// New expands the parameter set at the given memory factor into a
+// workloads.Spec. The Spec's Name is the canonical generator name
+// (Params.String), so harness results and golden digests identify the
+// workload unambiguously.
+func New(p Params, f workloads.Factor) (workloads.Spec, error) {
+	if err := p.Validate(); err != nil {
+		return workloads.Spec{}, err
+	}
+	bytes := scaledTaskBytes(p.Bytes, f)
+
+	// Layout: page-aligned non-overlapping regions, as separate
+	// allocations would be in a real program.
+	next := amath.Addr(1 << 22)
+	alloc := func(n uint64) amath.Range {
+		const page = 4096
+		r := amath.NewRange(next, n)
+		next = (next + amath.Addr(n) + page - 1).AlignDown(page) + page
+		return r
+	}
+	in := make([]amath.Range, p.Width)
+	for i := range in {
+		in[i] = alloc(bytes)
+	}
+	out := make([]amath.Range, p.Depth*p.Width)
+	for i := range out {
+		out[i] = alloc(bytes)
+	}
+
+	// Expansion: every random choice happens here, once, off a private
+	// seeded stream — never inside Build.
+	rng := sim.NewRNG(p.Seed)
+	nodes := make([]node, 0, p.Depth*p.Width)
+	for l := 0; l < p.Depth; l++ {
+		for i := 0; i < p.Width; i++ {
+			deps := make([]taskrt.Dep, 0, p.Fanout+2)
+			if l == 0 {
+				deps = append(deps, taskrt.Dep{Range: in[i], Mode: taskrt.In})
+			} else {
+				for _, parent := range pickParents(rng, p, l) {
+					mode := taskrt.In
+					if rng.Intn(100) < p.InOut {
+						mode = taskrt.InOut
+					}
+					deps = append(deps, taskrt.Dep{Range: out[parent], Mode: mode})
+				}
+			}
+			deps = append(deps, taskrt.Dep{Range: out[l*p.Width+i], Mode: taskrt.Out})
+			nodes = append(nodes, node{
+				name: fmt.Sprintf("gen[%d,%d]", l, i),
+				deps: deps,
+			})
+		}
+	}
+
+	inputBytes := uint64(p.Width) * bytes
+	footprint := inputBytes + uint64(p.Depth*p.Width)*bytes
+	params := p
+	return workloads.Spec{
+		Name: p.String(),
+		Problem: fmt.Sprintf("seeded DAG %dx%d fanout=%d reuse=%d %dB/task (%.2f MB)",
+			p.Depth, p.Width, p.Fanout, p.Reuse, bytes, float64(footprint)/(1<<20)),
+		InputBytes:     inputBytes,
+		FootprintBytes: footprint,
+		Build: func(rt *taskrt.Runtime) {
+			idx := 0
+			for l := 0; l < params.Depth; l++ {
+				for i := 0; i < params.Width; i++ {
+					n := nodes[idx]
+					idx++
+					extra := sim.Cycles(params.Compute)
+					var tk *taskrt.Task
+					tk = rt.Spawn(n.name, n.deps, func(e *taskrt.Exec) {
+						e.SweepDeps(tk)
+						if extra > 0 {
+							e.Compute(extra)
+						}
+					})
+				}
+				if params.Wait > 0 && (l+1)%params.Wait == 0 {
+					rt.Wait()
+				}
+			}
+			rt.Wait()
+		},
+	}, nil
+}
+
+// MustNew is New for pinned parameter sets in tests and tables.
+func MustNew(p Params, f workloads.Factor) workloads.Spec {
+	s, err := New(p, f)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// pickParents draws the task's distinct parent set for layer l: with
+// probability Overlap the draw comes from the hot set (the first quarter
+// of the previous layer, min one task), otherwise uniformly from the
+// whole reuse window. A duplicate draw falls back to one uniform probe
+// so a saturated hot set cannot stall the sampler.
+func pickParents(rng *sim.RNG, p Params, l int) []int {
+	lo := l - p.Reuse
+	if lo < 0 {
+		lo = 0
+	}
+	ncand := (l - lo) * p.Width
+	want := p.Fanout
+	if want > ncand {
+		want = ncand
+	}
+	hot := p.Width / 4
+	if hot < 1 {
+		hot = 1
+	}
+	picked := make([]int, 0, want)
+	contains := func(v int) bool {
+		for _, q := range picked {
+			if q == v {
+				return true
+			}
+		}
+		return false
+	}
+	for len(picked) < want {
+		var c int
+		if rng.Intn(100) < p.Overlap {
+			c = (l-1)*p.Width + rng.Intn(hot)
+		} else {
+			c = lo*p.Width + rng.Intn(ncand)
+		}
+		if contains(c) {
+			c = lo*p.Width + rng.Intn(ncand)
+			if contains(c) {
+				continue
+			}
+		}
+		picked = append(picked, c)
+	}
+	// Dependencies in ascending parent order: the sampler's draw order
+	// is an implementation detail and must not leak into the dep list.
+	for i := 1; i < len(picked); i++ {
+		for j := i; j > 0 && picked[j-1] > picked[j]; j-- {
+			picked[j-1], picked[j] = picked[j], picked[j-1]
+		}
+	}
+	return picked
+}
+
+// scaledTaskBytes applies the memory factor to the per-task footprint,
+// rounded to whole 64B cache blocks with a one-block minimum — the same
+// contract workloads.scaleBytes gives the Table II inputs.
+func scaledTaskBytes(b uint64, f workloads.Factor) uint64 {
+	s := uint64(float64(b) * float64(f))
+	if s < 64 {
+		return 64
+	}
+	return s &^ 63
+}

@@ -114,6 +114,17 @@ func DefaultConfig() Config { return arch.DefaultConfig() }
 // experiments use.
 func ScaledConfig() Config { return arch.ScaledConfig() }
 
+// MeshConfig generalizes the Table I machine to a width x height mesh
+// (up to 16x16 = 256 tiles): per-tile parameters stay Table I's,
+// replication clusters become (w/2)x(h/2) quadrants when both
+// dimensions are even, and memory controllers sit on the corner tiles.
+// MeshConfig(4, 4) is exactly DefaultConfig.
+func MeshConfig(width, height int) Config { return arch.MeshConfig(width, height) }
+
+// ScaledMeshConfig is MeshConfig with the scaled per-tile cache sizes
+// (ScaledConfig's), for fast experiments on big meshes.
+func ScaledMeshConfig(width, height int) Config { return arch.ScaledMeshConfig(width, height) }
+
 // DefaultRuntimeOptions returns the runtime cost model all experiments use.
 func DefaultRuntimeOptions() RuntimeOptions { return taskrt.DefaultOptions() }
 
