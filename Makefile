@@ -19,6 +19,11 @@
 #                    digests, cross-policy access-set equality) plus one
 #                    CLI run of a generated workload on the 4x4 and 8x8
 #                    meshes
+#   make pdes-smoke  conservative-PDES equivalence: worker counts
+#                    {1,2,4,8} x policies x meshes must digest
+#                    identically, the golden suite must reproduce at
+#                    SimWorkers=8, and one CLI suite runs at
+#                    -sim-workers 8
 #   make fuzz-smoke  short fuzz of the workload-generator name parser
 #                    and validator (seed corpus always runs under test)
 #   make golden      refresh the golden suite digests (healthy, degraded
@@ -26,7 +31,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke gen-smoke fuzz-smoke golden ci
+.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke fuzz-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -35,12 +40,14 @@ test:
 	$(GO) test ./...
 
 # The parallel suite runner fans independent machines/runtimes out across
-# goroutines; the race detector over these packages is the proof that no
-# shared state sneaks back in (e.g. the old package-level WatchBlock).
-# The harness tests include the degraded (fault-injected) parallel suite,
-# so mid-run reconfiguration is raced too.
+# goroutines, and the conservative PDES engine runs task flights of one
+# run on a worker pool; the race detector over these packages is the
+# proof that no unsynchronized shared state sneaks back in (e.g. the old
+# package-level WatchBlock). The harness tests include the degraded
+# (fault-injected) parallel suite and the SimWorkers equivalence table,
+# so mid-run reconfiguration and in-run flights are raced too.
 race:
-	$(GO) test -race ./internal/harness ./internal/machine ./internal/taskrt
+	$(GO) test -race -timeout 3600s ./internal/harness ./internal/machine ./internal/taskrt ./internal/sim/pdes
 
 vet:
 	$(GO) vet ./...
@@ -56,8 +63,8 @@ lint: vet
 # suite's wall time, written as BENCH_simcore.json next to the frozen
 # pre-optimization baseline (schema in EXPERIMENTS.md).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMemoryAccess$$|BenchmarkMemoryAccessEvict$$|BenchmarkFullSuite$$' \
-		-benchmem -timeout 1800s . | $(GO) run ./cmd/tdnuca-bench -o BENCH_simcore.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMemoryAccess$$|BenchmarkMemoryAccessEvict$$|BenchmarkFullSuite$$|BenchmarkFullSuiteSequential$$|BenchmarkFullSuiteParallel2$$|BenchmarkFullSuiteParallel4$$' \
+		-benchmem -timeout 3600s . | $(GO) run ./cmd/tdnuca-bench -o BENCH_simcore.json
 
 # One iteration of every benchmark: proves they still compile and run,
 # cheap enough for CI.
@@ -86,6 +93,15 @@ gen-smoke:
 	$(GO) run ./cmd/tdnuca-experiments -gen seed=3,depth=4,width=8 -check -factor 0.0078125
 	$(GO) run ./cmd/tdnuca-experiments -gen seed=3,depth=4,width=8 -mesh 8x8 -check -factor 0.0078125
 
+# The conservative-PDES equivalence layer (DESIGN.md §13): worker-count
+# invariance across policies, meshes, tracing, fault injection and the
+# golden suite, then one CLI suite at -sim-workers 8 proving the flag
+# end to end.
+pdes-smoke:
+	$(GO) test ./internal/harness -run 'TestSimWorkers'
+	$(GO) test ./internal/taskrt -run 'TestParallel'
+	$(GO) run ./cmd/tdnuca-experiments -sim-workers 8 -digest -factor 0.0078125 > /dev/null
+
 # Short fuzz of the generator's name parser/validator; the checked-in
 # seed corpus also runs on every plain `go test`.
 fuzz-smoke:
@@ -97,4 +113,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./internal/harness -run 'Golden|TestGeneratedGoldenDigests' -update
 
-ci: build lint test race bench-quick trace-smoke faults-smoke gen-smoke
+ci: build lint test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke

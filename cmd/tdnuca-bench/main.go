@@ -46,6 +46,8 @@ type Report struct {
 	GoVersion  string             `json:"go_version"`
 	GOOS       string             `json:"goos"`
 	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	SimWorkers int                `json:"sim_workers"`
 	Benchmarks map[string]Result  `json:"benchmarks"`
 	Baseline   map[string]Result  `json:"baseline"`
 	Derived    map[string]float64 `json:"derived"`
@@ -53,7 +55,12 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_simcore.json", "output file (\"-\" for stdout)")
+	simWorkers := flag.Int("sim-workers", 1, "RT.SimWorkers setting the measured run used (recorded in the report)")
 	flag.Parse()
+	if *simWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "tdnuca-bench: -sim-workers must be >= 0 (got %d)\n", *simWorkers)
+		os.Exit(2)
+	}
 
 	results, err := parse(os.Stdin)
 	if err != nil {
@@ -70,6 +77,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		SimWorkers: *simWorkers,
 		Benchmarks: results,
 		Baseline:   baseline,
 		Derived:    map[string]float64{},
@@ -87,6 +96,20 @@ func main() {
 		if base := baseline["FullSuite"].NsPerOp; r.NsPerOp > 0 {
 			rep.Derived["full_suite_speedup_vs_baseline"] = base / r.NsPerOp
 		}
+	}
+	// Run-level parallel speedup: the single-goroutine suite over the
+	// four-worker run pool (digest-identical by the harness equivalence
+	// tests). Bounded above by the host's schedulable CPUs — num_cpu in
+	// this report says what was physically possible.
+	seqNs := results["FullSuiteSequential"].NsPerOp
+	if seqNs == 0 {
+		seqNs = results["FullSuite"].NsPerOp
+	}
+	if p4 := results["FullSuiteParallel4"].NsPerOp; p4 > 0 && seqNs > 0 {
+		rep.Derived["full_suite_parallel_speedup"] = seqNs / p4
+	}
+	if p2 := results["FullSuiteParallel2"].NsPerOp; p2 > 0 && seqNs > 0 {
+		rep.Derived["full_suite_parallel2_speedup"] = seqNs / p2
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

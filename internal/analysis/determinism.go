@@ -25,10 +25,11 @@ import (
 //	mathrand  — any use of math/rand or math/rand/v2 (globally seeded,
 //	            order-sensitive). Simulation code draws from the seeded
 //	            sim.RNG instead. Simulation packages only.
-//	goroutine — `go` statements anywhere except the harness worker pool
-//	            (internal/harness/parallel.go), the one audited place
-//	            where concurrency is proven equivalent to sequential
-//	            execution. Simulation packages only.
+//	goroutine — `go` statements anywhere except the sanctioned worker
+//	            pools: the harness run pool (internal/harness/parallel.go)
+//	            and the conservative parallel engine (internal/sim/pdes),
+//	            the audited places where concurrency is proven equivalent
+//	            to sequential execution. Simulation packages only.
 
 // wallClockFuncs are the time package functions that read the wall clock
 // or schedule against it.
@@ -115,7 +116,7 @@ func (w *detWalker) visit(n ast.Node) bool {
 	case *ast.GoStmt:
 		if w.sim && !w.goAllowedHere(n) {
 			w.report(n.Pos(), "goroutine",
-				"goroutine spawned outside internal/harness/parallel.go; simulation code must stay single-threaded")
+				"goroutine spawned outside the sanctioned worker pools (internal/harness/parallel.go, internal/sim/pdes); simulation code must stay single-threaded")
 		}
 	case *ast.Ident:
 		if w.sim {
@@ -125,9 +126,14 @@ func (w *detWalker) visit(n ast.Node) bool {
 	return true
 }
 
-// goAllowedHere implements the single built-in goroutine exemption: the
-// harness worker pool file.
+// goAllowedHere implements the built-in goroutine exemptions: the
+// harness worker pool file and the conservative parallel engine, whose
+// ordered-join discipline is what makes worker concurrency equivalent to
+// sequential execution (see internal/sim/pdes package doc).
 func (w *detWalker) goAllowedHere(n *ast.GoStmt) bool {
+	if w.pkg.PkgPath == w.prog.Module+"/internal/sim/pdes" {
+		return true
+	}
 	if w.pkg.PkgPath != w.prog.Module+"/internal/harness" {
 		return false
 	}

@@ -181,6 +181,9 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults
 	if err := validatePolicy(kind, &cfg.Arch); err != nil {
 		return Result{}, nil, faults.Stats{}, err
 	}
+	if cfg.RT.SimWorkers < 0 {
+		return Result{}, nil, faults.Stats{}, fmt.Errorf("harness: RT.SimWorkers must be >= 0 (got %d)", cfg.RT.SimWorkers)
+	}
 	m, err := machine.New(&cfg.Arch, cfg.FragEvery, cfg.Seed)
 	if err != nil {
 		return Result{}, nil, faults.Stats{}, err

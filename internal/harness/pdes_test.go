@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"tdnuca/internal/arch"
+	"tdnuca/internal/trace"
+)
+
+// Simulation-worker (conservative PDES, internal/sim/pdes) equivalence
+// layer: RT.SimWorkers must never change any result. The taskrt tests
+// prove schedule-level equivalence on crafted workloads; this file
+// proves it end-to-end on real benchmarks — full Result digests across
+// worker counts, policies, mesh geometries, tracing, fault injection
+// and the golden files.
+
+// pdesBench is the single benchmark the table runs: every extra cell
+// costs a full simulation, and worker-count invariance is independent
+// of which benchmark exercises it.
+const pdesBench = "Histo"
+
+// pdesCfg returns the golden configuration on the given mesh.
+func pdesCfg(w, h int) Config {
+	cfg := goldenCfg()
+	if w != 4 || h != 4 {
+		mesh := arch.ScaledMeshConfig(w, h)
+		mesh.NoCContention = cfg.Arch.NoCContention
+		mesh.CheckInvariants = cfg.Arch.CheckInvariants
+		cfg.Arch = mesh
+	}
+	return cfg
+}
+
+func runCell(t *testing.T, cfg Config, kind PolicyKind, workers int) (uint64, uint64) {
+	t.Helper()
+	cfg.RT.SimWorkers = workers
+	r, err := Run(pdesBench, kind, cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", kind, workers, err)
+	}
+	if len(r.Violations) > 0 {
+		t.Fatalf("%s workers=%d: violations %v", kind, workers, r.Violations)
+	}
+	return r.Digest(), uint64(r.Cycles)
+}
+
+// TestSimWorkersDigestEquivalence is the tentpole's acceptance table:
+// workers {1,2,4,8} x policies {S-NUCA, R-NUCA, TD-NUCA} x meshes
+// {4x4, 8x8, 16x16}, every cell digest-identical to workers=1.
+func TestSimWorkersDigestEquivalence(t *testing.T) {
+	for _, mesh := range [][2]int{{4, 4}, {8, 8}, {16, 16}} {
+		cfg := pdesCfg(mesh[0], mesh[1])
+		for _, kind := range goldenKinds {
+			name := fmt.Sprintf("%dx%d/%s", mesh[0], mesh[1], kind)
+			t.Run(name, func(t *testing.T) {
+				wantDig, wantCyc := runCell(t, cfg, kind, 1)
+				for _, w := range []int{2, 4, 8} {
+					dig, cyc := runCell(t, cfg, kind, w)
+					if dig != wantDig || cyc != wantCyc {
+						t.Errorf("workers=%d diverged: digest %x cycles %d, want %x / %d",
+							w, dig, cyc, wantDig, wantCyc)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSimWorkersTrueParallelDigest turns NoC contention off so S-NUCA
+// runs pass the structural gate and the conservative engine actually
+// spins up worker shards — the configuration where flights can fly.
+// Digests must still be identical at every worker count, on every mesh.
+func TestSimWorkersTrueParallelDigest(t *testing.T) {
+	for _, mesh := range [][2]int{{4, 4}, {8, 8}, {16, 16}} {
+		cfg := pdesCfg(mesh[0], mesh[1])
+		cfg.Arch.NoCContention = false
+		t.Run(fmt.Sprintf("%dx%d", mesh[0], mesh[1]), func(t *testing.T) {
+			wantDig, wantCyc := runCell(t, cfg, SNUCA, 1)
+			for _, w := range []int{2, 4, 8} {
+				dig, cyc := runCell(t, cfg, SNUCA, w)
+				if dig != wantDig || cyc != wantCyc {
+					t.Errorf("workers=%d diverged: digest %x cycles %d, want %x / %d",
+						w, dig, cyc, wantDig, wantCyc)
+				}
+			}
+		})
+	}
+}
+
+// TestSimWorkersTracedRun: tracing forces the sequential path (a single
+// ordered event buffer cannot be sharded); the traced Result at
+// workers=4 must equal the untraced workers=1 Result, and the trace must
+// be non-empty.
+func TestSimWorkersTracedRun(t *testing.T) {
+	cfg := pdesCfg(4, 4)
+	wantDig, wantCyc := runCell(t, cfg, TDNUCA, 1)
+	cfg.RT.SimWorkers = 4
+	r, d, err := RunTraced(pdesBench, TDNUCA, cfg, trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Digest() != wantDig || uint64(r.Cycles) != wantCyc {
+		t.Errorf("traced workers=4 diverged: digest %x cycles %d, want %x / %d",
+			r.Digest(), r.Cycles, wantDig, wantCyc)
+	}
+	if d == nil || len(d.Events) == 0 {
+		t.Error("traced run returned no events")
+	}
+}
+
+// TestSimWorkersDegradedRun: fault injection hooks every dispatch
+// boundary, which also forces the sequential path; the degraded Result
+// must be worker-count invariant.
+func TestSimWorkersDegradedRun(t *testing.T) {
+	cfg := pdesCfg(4, 4)
+	cfg.RT.SimWorkers = 1
+	want, err := RunDegraded(pdesBench, TDNUCA, cfg, degradedScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RT.SimWorkers = 4
+	got, err := RunDegraded(pdesBench, TDNUCA, cfg, degradedScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != want.Digest() || got.Cycles != want.Cycles {
+		t.Errorf("degraded workers=4 diverged: digest %x cycles %d, want %x / %d",
+			got.Digest(), got.Cycles, want.Digest(), want.Cycles)
+	}
+}
+
+// TestSimWorkersGoldenSuiteInvariance pins the strongest promise: the
+// golden suite digests on disk are reproduced byte-identically with the
+// parallel engine enabled.
+func TestSimWorkersGoldenSuiteInvariance(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	cfg := goldenCfg()
+	cfg.RT.SimWorkers = 8
+	suite, err := RunSuiteSequential(cfg, goldenKinds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DigestSuite(suite).String()
+	if stripComments(string(want)) != stripComments(got) {
+		t.Errorf("golden suite drifted at SimWorkers=8.\n--- golden ---\n%s--- got ---\n%s",
+			stripComments(string(want)), got)
+	}
+}
+
+// TestSimWorkersNegativeRejected: a negative worker count is a
+// configuration error, reported loudly — never a silent fallback.
+func TestSimWorkersNegativeRejected(t *testing.T) {
+	cfg := pdesCfg(4, 4)
+	cfg.RT.SimWorkers = -1
+	if _, err := Run(pdesBench, SNUCA, cfg); err == nil ||
+		!strings.Contains(err.Error(), "SimWorkers") {
+		t.Errorf("Run with SimWorkers=-1: err = %v, want SimWorkers error", err)
+	}
+	if _, err := RunMany([]Job{{Bench: pdesBench, Kind: SNUCA, Cfg: cfg}}, 1); err == nil ||
+		!strings.Contains(err.Error(), "SimWorkers") {
+		t.Errorf("RunMany with SimWorkers=-1: err = %v, want SimWorkers error", err)
+	}
+}

@@ -30,6 +30,12 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 	if m.policy == nil {
 		panic("machine: Access before SetPolicy")
 	}
+	if m.guard != nil {
+		// Parallel flight: the access must stay inside the granted reach
+		// and must not fault in a page (checked before translation, which
+		// would allocate on first touch).
+		m.guardCheck(core, va)
+	}
 	m.met.Accesses++
 	lat := sim.Cycles(m.Cfg.TLBLatency)
 	if !m.TLBs[core].Access(uint64(va) / uint64(m.Cfg.PageBytes)) {
@@ -39,7 +45,7 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 
 	lat += sim.Cycles(m.Cfg.L1Latency)
 	m.cs.L1 += lat // translation + private-cache lookup, charged on every access
-	st := m.L1s[core].Access(pa)
+	st := m.l1Access(core, pa)
 	if m.tr != nil {
 		if st.IsValid() {
 			m.tr.Emit(trace.EvL1Hit, now, core, uint64(pa), 0)
@@ -61,7 +67,7 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 		if write {
 			// Silent E->M upgrade: no coherence action, but the page-table
 			// dirty bit is set, so an OS-based policy still observes it.
-			m.L1s[core].SetState(pa, cache.Modified)
+			m.l1SetState(core, pa, cache.Modified)
 			m.goldenWrite(core, pa)
 			if m.writeObs != nil {
 				w := m.writeObs.ObserveWrite(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
@@ -230,7 +236,7 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 	if pl.Kind == Bypass {
 		// The dependency is no longer LLC-mapped; the runtime guarantees
 		// exclusivity, so the local copy simply becomes Modified.
-		m.L1s[core].SetState(pa, cache.Modified)
+		m.l1SetState(core, pa, cache.Modified)
 		return lat
 	}
 	bank := m.ResolveBank(pl, pa)
@@ -264,7 +270,7 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 	lat += m.invalidateCopies(bank, pa, e, core, now+lat)
 	e.sharers = arch.Mask{}
 	e.owner = core
-	if !m.L1s[core].SetState(pa, cache.Modified) {
+	if !m.l1SetState(core, pa, cache.Modified) {
 		// The policy's transition flush (e.g. R-NUCA demoting a written
 		// read-only page) removed this core's own copy while deciding the
 		// placement; refill it as a write miss so the store lands in an
@@ -286,7 +292,7 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 // according to the victim's own placement (the RRT is consulted on
 // writebacks too, per Sec. III-B3).
 func (m *Machine) insertL1(core int, pa amath.Addr, st cache.State, now sim.Cycles) {
-	v := m.L1s[core].Insert(pa, st)
+	v := m.l1Insert(core, pa, st)
 	m.verifyL1Fill(core, pa)
 	if !v.Occurred {
 		return

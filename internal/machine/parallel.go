@@ -1,0 +1,256 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/cache"
+	"tdnuca/internal/trace"
+)
+
+// Conservative-PDES support: machine views, counter folds and reach
+// masks (see internal/sim/pdes and DESIGN.md §13).
+//
+// The partitionable unit of the machine is the tile: core c's L1, TLB
+// and translation memo are touched only by task bodies running on c,
+// and LLC bank b (cache + directory + its share of DRAM traffic) is
+// touched only by accesses whose block is homed on b. A task's "reach"
+// — the banks its dependency blocks interleave onto plus the home banks
+// of everything its core's L1 currently holds — therefore bounds every
+// structure its simulation can mutate, with one exception: coherence
+// actions (invalidations, owner fetches, inclusive back-invalidations)
+// touch *other* cores' L1s. Those cores are provably idle (a bank in
+// one task's reach is in no concurrent task's reach, so the owner and
+// sharers recorded by its directory can only be idle cores), and the
+// L1 operations involved (Probe/SetState/Invalidate on distinct blocks)
+// commute, so a per-L1 mutex makes them safe without ordering them.
+//
+// Counters cannot be partitioned by reach — every access bumps global
+// Metrics, CycleStack and NoC counters — so each worker runs on a
+// *view*: a shallow copy of the Machine whose value-typed counter
+// fields start at zero and whose Net is a counter shard (noc.Shard).
+// All hundreds of `m.met.X++` sites work unchanged on a view; the
+// coordinator folds views back with AbsorbShard in dispatch order, and
+// because counters are pure sums the fold reproduces the sequential
+// totals bit for bit.
+
+// parShared is the synchronization state shared by a machine and all its
+// views while the parallel engine is active.
+type parShared struct {
+	l1mu []sync.Mutex
+	// allBanks has one bit per live bank index — the conservative "this
+	// task can reach anything" mask ReachBanks saturates to.
+	allBanks arch.Mask
+}
+
+// EnterParallel arms the machine for parallel task execution: it
+// installs the per-L1 mutexes the cross-L1 coherence sites take while
+// views are live. Idempotent; must be called before the first ShardView.
+func (m *Machine) EnterParallel() {
+	if m.par != nil {
+		return
+	}
+	p := &parShared{l1mu: make([]sync.Mutex, m.Cfg.NumCores)}
+	for i := 0; i < m.Cfg.NumCores; i++ {
+		p.allBanks = p.allBanks.Set(i)
+	}
+	m.par = p
+}
+
+// lockL1 serializes cross-L1 coherence actions against a core's private
+// cache while the parallel engine is active. Nil-check only on
+// sequential machines.
+func (m *Machine) lockL1(core int) {
+	if m.par != nil {
+		m.par.l1mu[core].Lock()
+	}
+}
+
+func (m *Machine) unlockL1(core int) {
+	if m.par != nil {
+		m.par.l1mu[core].Unlock()
+	}
+}
+
+// l1Access / l1SetState / l1Insert wrap a flight's own-L1 operations
+// with the core's mutex. The reach invariant guarantees no *mutation*
+// of an L1 ever crosses cores mid-flight, but a stale directory entry
+// in another flight's bank can legitimately name this core, making that
+// flight Probe this L1 concurrently — the lock orders those probes
+// against our own cache-state writes. Sequential machines pay one nil
+// check.
+func (m *Machine) l1Access(core int, pa amath.Addr) cache.State {
+	m.lockL1(core)
+	st := m.L1s[core].Access(pa)
+	m.unlockL1(core)
+	return st
+}
+
+func (m *Machine) l1SetState(core int, pa amath.Addr, st cache.State) bool {
+	m.lockL1(core)
+	ok := m.L1s[core].SetState(pa, st)
+	m.unlockL1(core)
+	return ok
+}
+
+func (m *Machine) l1Insert(core int, pa amath.Addr, st cache.State) cache.Victim {
+	m.lockL1(core)
+	v := m.L1s[core].Insert(pa, st)
+	m.unlockL1(core)
+	return v
+}
+
+// ShardView returns a worker's view of the machine: a shallow copy
+// sharing every partitioned structure (L1s, banks, TLBs, address
+// spaces, policy) but owning zeroed counter shards, so concurrent
+// flights never race on accounting. Views are reusable: AbsorbShard
+// folds one back and re-zeroes it.
+func (m *Machine) ShardView() *Machine {
+	v := *m
+	v.met = Metrics{}
+	v.cs = trace.CycleStack{}
+	v.Net = m.Net.Shard()
+	v.tr = nil
+	return &v
+}
+
+// AbsorbShard folds a view's counters into the machine and zeroes the
+// view for reuse. Folding views in the canonical dispatch order
+// reproduces the sequential counter totals exactly (all folds are
+// sums).
+func (m *Machine) AbsorbShard(v *Machine) {
+	m.met.Add(v.met)
+	m.cs.Add(v.cs)
+	m.Net.Absorb(v.Net)
+	v.met = Metrics{}
+	v.cs = trace.CycleStack{}
+}
+
+// Add folds another metrics snapshot into this one (all fields are raw
+// event counts, so addition is exact).
+func (m *Metrics) Add(o Metrics) {
+	m.Accesses += o.Accesses
+	m.L1Hits += o.L1Hits
+	m.L1Misses += o.L1Misses
+	m.L1Writebacks += o.L1Writebacks
+	m.LLCAccesses += o.LLCAccesses
+	m.LLCHits += o.LLCHits
+	m.LLCMisses += o.LLCMisses
+	m.LLCFills += o.LLCFills
+	m.LLCWritebacksIn += o.LLCWritebacksIn
+	m.LLCWritebacksOut += o.LLCWritebacksOut
+	m.LLCEvictions += o.LLCEvictions
+	m.BypassAccesses += o.BypassAccesses
+	m.DRAMReads += o.DRAMReads
+	m.DRAMWrites += o.DRAMWrites
+	m.Upgrades += o.Upgrades
+	m.Invalidations += o.Invalidations
+	m.OwnerForwards += o.OwnerForwards
+	m.NUCADistSum += o.NUCADistSum
+	m.NUCADistCnt += o.NUCADistCnt
+	m.FlushOps += o.FlushOps
+	m.FlushedBlocks += o.FlushedBlocks
+	m.FlushCycles += o.FlushCycles
+	m.RRTLookups += o.RRTLookups
+}
+
+// ConcurrencySafe is the opt-in marker a Policy implements to declare
+// its Place/LookupPenalty path free of mutable state, making it safe to
+// consult from concurrent machine views. S-NUCA qualifies (a pure
+// address function); R-NUCA and TD-NUCA mutate classification tables on
+// the access path and must stay sequential.
+type ConcurrencySafe interface {
+	ConcurrencySafe() bool
+}
+
+// ParallelSafe reports whether concurrent task execution on views of
+// this machine can reproduce sequential behavior bit for bit: the
+// policy must be stateless (ConcurrencySafe), the NoC contention model
+// off (per-link next-free times are order-sensitive), and no
+// write-observer, tracer or watch-block attached. The verifier is
+// allowed: its per-block version maps are guarded by the same reach
+// discipline as the caches (plus verMu for the map structure itself).
+func (m *Machine) ParallelSafe() bool {
+	cs, ok := m.policy.(ConcurrencySafe)
+	return ok && cs.ConcurrencySafe() &&
+		!m.Net.ContentionEnabled() &&
+		m.writeObs == nil &&
+		m.tr == nil &&
+		m.watchW == nil
+}
+
+// SetGuard arms a view's reach guard: until ClearGuard, every AccessAt
+// on the view must translate to a block homed inside the mask and must
+// not fault in a new page. The guard is the engine's safety net — a
+// sound conflict gate never trips it.
+func (m *Machine) SetGuard(reach *arch.Mask) { m.guard = reach }
+
+// ClearGuard disarms the reach guard.
+func (m *Machine) ClearGuard() { m.guard = nil }
+
+// guardCheck enforces the reach guard on one access. It must run before
+// translation: a first-touch page fault would mutate the shared
+// allocator, so an unmapped page is itself a violation.
+//
+//tdnuca:allow(alloc) panic path: allocates only when the conservative gate was unsound, immediately before aborting the run
+func (m *Machine) guardCheck(core int, va amath.Addr) {
+	pb := uint64(m.Cfg.PageBytes)
+	pp, ok := m.procAS(core).Lookup(uint64(va) / pb)
+	if !ok {
+		panic(fmt.Sprintf("machine: parallel guard: core %d touched unmapped page of va %#x mid-flight", core, uint64(va)))
+	}
+	pa := amath.Addr(pp*pb + uint64(va)%pb).AlignDown(m.Cfg.BlockBytes)
+	if bank := m.interleaveBank(pa); !m.guard.Has(bank) {
+		panic(fmt.Sprintf("machine: parallel guard: core %d access %#x resolves to bank %d outside granted reach %v", core, uint64(va), bank, m.guard.Bits()))
+	}
+}
+
+// ReachBanks accumulates into reach the home bank of every block of the
+// virtual range under the interleaved mapping, returning false when any
+// page of the range is not mapped yet (the access would fault in a page
+// mid-flight, which cannot be parallelized). Ranges spanning at least
+// NumCores blocks saturate to the full bank mask without per-block
+// work — a superset, which is all the conflict gate needs.
+func (m *Machine) ReachBanks(core int, r amath.Range, reach *arch.Mask) bool {
+	if r.IsEmpty() {
+		return true
+	}
+	as := m.procAS(core)
+	pb := uint64(m.Cfg.PageBytes)
+	bb := m.Cfg.BlockBytes
+	last := (uint64(r.End()) - 1) / pb
+	for p := uint64(r.Start) / pb; p <= last; p++ {
+		pp, ok := as.Lookup(p)
+		if !ok {
+			return false
+		}
+		if *reach == m.par.allBanks {
+			continue // saturated; only the mapping check remains
+		}
+		seg := r.Intersect(amath.Range{Start: amath.Addr(p * pb), Size: pb})
+		if seg.NumBlocks(bb) >= m.Cfg.NumCores {
+			*reach = m.par.allBanks
+			continue
+		}
+		base := amath.Addr(pp*pb + uint64(seg.Start)%pb).AlignDown(bb)
+		for i := 0; i < seg.NumBlocks(bb); i++ {
+			*reach = reach.Set(m.interleaveBank(base + amath.Addr(i*bb)))
+		}
+	}
+	return true
+}
+
+// L1ReachBanks adds the interleaved home bank of every valid line in
+// the core's L1 — the blocks a flight on that core could writeback or
+// evict. The L1 mutex guards against a concurrent back-invalidation
+// shrinking the residency mid-scan; shrinking after the scan only makes
+// the mask a superset, which stays sound.
+func (m *Machine) L1ReachBanks(core int, reach *arch.Mask) {
+	m.lockL1(core)
+	m.L1s[core].EachResident(func(block amath.Addr, _ cache.State) {
+		*reach = reach.Set(m.interleaveBank(block))
+	})
+	m.unlockL1(core)
+}

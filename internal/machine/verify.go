@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"tdnuca/internal/amath"
 	"tdnuca/internal/arch"
@@ -42,6 +43,13 @@ func (m *Machine) watch(pa amath.Addr, format string, args ...any) {
 // golden one means a policy lost a flush or invalidation — exactly the
 // class of bug replication-based NUCA schemes are prone to.
 type verifier struct {
+	// mu serializes the version-map updates when the parallel engine runs
+	// concurrent flights on machine views. The per-block version values
+	// stay deterministic under the reach discipline (each flight touches
+	// disjoint blocks); the lock only protects the map structures
+	// themselves. Sequential runs take it uncontended.
+	mu sync.Mutex
+
 	golden map[amath.Addr]uint64
 	mem    map[amath.Addr]uint64
 	banks  []map[amath.Addr]uint64
@@ -87,6 +95,8 @@ func (m *Machine) Violations() []string {
 	if m.ver == nil {
 		return nil
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	if m.ver.suppressed == 0 {
 		return m.ver.violations
 	}
@@ -104,6 +114,8 @@ func (m *Machine) goldenWrite(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "write by core %d -> v%d", core, m.ver.golden[pa]+1)
 	if st := m.L1s[core].Probe(pa); st != cache.Modified {
 		m.ver.report("write by core %d to %#x with L1 state %v, want M", core, uint64(pa), st)
@@ -118,6 +130,8 @@ func (m *Machine) verifyL1Read(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	if got, want := m.ver.l1s[core][pa], m.ver.golden[pa]; got != want {
 		m.ver.report("stale L1 read: core %d block %#x version %d, golden %d", core, uint64(pa), got, want)
 	}
@@ -130,6 +144,8 @@ func (m *Machine) verifyServeFromBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "serve bank %d -> core %d v%d (golden %d)", bank, core, m.ver.banks[bank][pa], m.ver.golden[pa])
 	got, want := m.ver.banks[bank][pa], m.ver.golden[pa]
 	if got != want {
@@ -145,6 +161,8 @@ func (m *Machine) verifyFillFromMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "bypass fill mem v%d -> core %d (golden %d)", m.ver.mem[pa], core, m.ver.golden[pa])
 	got, want := m.ver.mem[pa], m.ver.golden[pa]
 	if got != want {
@@ -162,6 +180,8 @@ func (m *Machine) verifyBankFillFromMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "bank %d fill from mem v%d", bank, m.ver.mem[pa])
 	m.ver.banks[bank][pa] = m.ver.mem[pa]
 }
@@ -172,6 +192,8 @@ func (m *Machine) verifyOwnerWriteback(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "owner wb core %d -> bank %d v%d", core, bank, m.ver.l1s[core][pa])
 	m.ver.banks[bank][pa] = m.ver.l1s[core][pa]
 }
@@ -182,6 +204,8 @@ func (m *Machine) verifyWritebackToBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "L1 wb core %d -> bank %d v%d", core, bank, m.ver.l1s[core][pa])
 	m.ver.banks[bank][pa] = m.ver.l1s[core][pa]
 }
@@ -192,6 +216,8 @@ func (m *Machine) verifyWritebackToMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "L1 wb core %d -> mem v%d", core, m.ver.l1s[core][pa])
 	m.ver.mem[pa] = m.ver.l1s[core][pa]
 }
@@ -203,6 +229,8 @@ func (m *Machine) verifyBankWritebackToMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "bank %d wb -> mem v%d", bank, m.ver.banks[bank][pa])
 	m.ver.mem[pa] = m.ver.banks[bank][pa]
 }
@@ -217,6 +245,8 @@ func (m *Machine) verifyL1Drop(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "L1 core %d drop v%d", core, m.ver.l1s[core][pa])
 	delete(m.ver.l1s[core], pa)
 }
@@ -227,6 +257,8 @@ func (m *Machine) verifyBankDrop(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
 	}
+	m.ver.mu.Lock()
+	defer m.ver.mu.Unlock()
 	m.watch(pa, "bank %d drop v%d", bank, m.ver.banks[bank][pa])
 	delete(m.ver.banks[bank], pa)
 }

@@ -1,0 +1,61 @@
+package noc
+
+// Counter shards for the conservative parallel engine (internal/sim/pdes).
+//
+// A worker simulating a task on a machine view must account NoC traffic
+// without racing the other workers. The network's mutable state splits
+// cleanly in two: pure event counters (messages, byte-hops, per-link
+// bytes, …), which are sums and therefore commute, and the queueing
+// contention state (per-link next-free times), which is order-sensitive
+// and cannot be sharded. Shard therefore refuses to operate with
+// contention enabled — the runtime's parallel gate serializes those
+// configurations instead — and otherwise hands out a view owning fresh
+// counters while sharing the immutable topology, routing tables and
+// fault state. Absorb folds a view's counters back; because addition
+// commutes, folding shards in the canonical dispatch order reproduces
+// the sequential counters bit for bit.
+
+// Shard returns a counter-shard view of the network: private zeroed
+// counters, shared topology and fault/routing tables, no tracer. It
+// panics when contention is enabled (order-sensitive link state cannot
+// be sharded).
+func (n *Network) Shard() *Network {
+	if n.contention {
+		panic("noc: Shard with contention enabled")
+	}
+	s := *n
+	s.linkBytes = make([][4]uint64, len(n.linkBytes))
+	s.resetCounters()
+	s.tr = nil
+	return &s
+}
+
+// Absorb folds a shard's counters into this network and zeroes the
+// shard, readying it for reuse by the next flight.
+func (n *Network) Absorb(s *Network) {
+	n.messages += s.messages
+	n.byteHops += s.byteHops
+	n.flitHops += s.flitHops
+	n.ctrlMsgs += s.ctrlMsgs
+	n.dataMsgs += s.dataMsgs
+	n.dataBytes += s.dataBytes
+	for i := range s.linkBytes {
+		for d := 0; d < 4; d++ {
+			n.linkBytes[i][d] += s.linkBytes[i][d]
+		}
+	}
+	s.resetCounters()
+	for i := range s.linkBytes {
+		s.linkBytes[i] = [4]uint64{}
+	}
+}
+
+func (n *Network) resetCounters() {
+	n.messages = 0
+	n.byteHops = 0
+	n.flitHops = 0
+	n.ctrlMsgs = 0
+	n.dataMsgs = 0
+	n.dataBytes = 0
+	n.queued = 0
+}

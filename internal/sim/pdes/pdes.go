@@ -1,0 +1,132 @@
+// Package pdes is the conservative parallel discrete-event engine under
+// the task runtime: a bounded pool of OS workers plus a deterministic
+// join discipline.
+//
+// The engine solves exactly one problem: execute simulation work units
+// (task flights) concurrently while guaranteeing that the *coordinator*
+// observes their results in submission order, so that worker count and
+// OS scheduling can never change simulated behavior. Everything
+// domain-specific — which tasks may overlap (the reach-disjointness
+// conflict gate), what state they may touch (machine shard views), and
+// how results fold (counter absorption in dispatch order) — lives in
+// internal/taskrt and internal/machine; the engine only provides the
+// ordered concurrency substrate:
+//
+//   - Go(f) submits a work unit and returns its sequence number. The
+//     coordinator bounds outstanding work to the worker count, so Go
+//     never blocks.
+//   - Wait(seq) blocks until that submission has finished. The
+//     coordinator always waits for the *earliest* unfinished flight
+//     (conservative lookahead: the earliest dispatch has the smallest
+//     guaranteed end-time bound), which makes completion order
+//     irrelevant — results are folded strictly in dispatch order.
+//   - Close drains the pool and joins every worker; no goroutine
+//     outlives the engine.
+//
+// Determinism argument: workers communicate with the coordinator only
+// through the jobs channel (happens-before on submission: the worker
+// reads everything the coordinator wrote to the flight before Go) and
+// the done channel (happens-before on completion: the coordinator reads
+// everything the worker wrote before Wait returns). The coordinator is
+// the only goroutine that touches shared simulation state, and it does
+// so in submission order regardless of which worker ran what when.
+//
+// This package is on the determinism lint's goroutine allowlist (with
+// internal/harness/parallel.go): the one other audited place simulation
+// code may spawn goroutines.
+package pdes
+
+// job is one submitted work unit.
+type job struct {
+	seq uint64
+	f   func()
+}
+
+// Engine is the worker pool. It is not safe for concurrent use by
+// multiple coordinators: exactly one goroutine submits and waits.
+type Engine struct {
+	jobs chan job
+	done chan uint64
+
+	nextSeq  uint64
+	finished map[uint64]bool
+	inFlight int
+	workers  int
+	closed   bool
+}
+
+// New starts an engine with the given number of workers (minimum 1).
+// The caller must Close it; workers park on the jobs channel when idle.
+func New(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{
+		jobs:     make(chan job, workers),
+		done:     make(chan uint64, workers),
+		finished: make(map[uint64]bool),
+		workers:  workers,
+	}
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	for j := range e.jobs {
+		j.f()
+		e.done <- j.seq
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// InFlight returns how many submissions have not yet been observed
+// finished by Wait.
+func (e *Engine) InFlight() int { return e.inFlight }
+
+// Go submits a work unit and returns its sequence number. The
+// coordinator must keep InFlight() <= Workers(); within that bound the
+// buffered jobs channel guarantees Go never blocks.
+func (e *Engine) Go(f func()) uint64 {
+	if e.closed {
+		panic("pdes: Go after Close")
+	}
+	if e.inFlight >= e.workers {
+		panic("pdes: more in-flight submissions than workers")
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	e.inFlight++
+	e.jobs <- job{seq: seq, f: f}
+	return seq
+}
+
+// Wait blocks until the submission with the given sequence number has
+// finished. Completions arriving out of order are recorded and served
+// to later Wait calls without blocking.
+func (e *Engine) Wait(seq uint64) {
+	for !e.finished[seq] {
+		s := <-e.done
+		e.finished[s] = true
+		e.inFlight--
+	}
+	delete(e.finished, seq)
+}
+
+// Close drains every outstanding submission and joins all workers. The
+// engine cannot be reused afterwards. Safe to call via defer even after
+// a coordinator panic: it never re-panics.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	for e.inFlight > 0 {
+		<-e.done
+		e.inFlight--
+	}
+}

@@ -1,0 +1,94 @@
+package pdes
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaitInSubmissionOrder submits jobs whose completion order is
+// deliberately inverted (earlier submissions sleep longer) and checks
+// that Wait still serves them strictly in submission order.
+func TestWaitInSubmissionOrder(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	var running atomic.Int32
+	results := make([]int32, 4)
+	seqs := make([]uint64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		seqs[i] = e.Go(func() {
+			running.Add(1)
+			time.Sleep(time.Duration(4-i) * 10 * time.Millisecond)
+			results[i] = int32(i + 1)
+		})
+	}
+	for i := 0; i < 4; i++ {
+		e.Wait(seqs[i])
+		if results[i] != int32(i+1) {
+			t.Fatalf("Wait(%d) returned before job %d finished", seqs[i], i)
+		}
+	}
+	if got := running.Load(); got != 4 {
+		t.Fatalf("ran %d jobs, want 4", got)
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after all waits", e.InFlight())
+	}
+}
+
+// TestOutOfOrderCompletionRecorded: waiting on the earliest submission
+// while later ones finish first must record, not lose, the early
+// completions.
+func TestOutOfOrderCompletionRecorded(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	slow := e.Go(func() { time.Sleep(30 * time.Millisecond) })
+	fast := e.Go(func() {})
+	e.Wait(slow)
+	// fast already finished and was recorded while waiting for slow;
+	// this Wait must return immediately.
+	doneCh := make(chan struct{})
+	go func() { e.Wait(fast); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait(fast) blocked although the job had completed")
+	}
+}
+
+// TestCloseDrains proves Close joins every worker and outstanding job.
+func TestCloseDrains(t *testing.T) {
+	e := New(3)
+	var ran atomic.Int32
+	for i := 0; i < 3; i++ {
+		e.Go(func() {
+			time.Sleep(5 * time.Millisecond)
+			ran.Add(1)
+		})
+	}
+	e.Close()
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("Close returned with %d/3 jobs finished", got)
+	}
+	e.Close() // idempotent
+}
+
+// TestOversubmitPanics pins the coordinator contract: submitting more
+// outstanding work than workers is a bug, caught loudly.
+func TestOversubmitPanics(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	block := make(chan struct{})
+	seq := e.Go(func() { <-block })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Go with one worker did not panic")
+			}
+		}()
+		e.Go(func() {})
+	}()
+	close(block)
+	e.Wait(seq)
+}

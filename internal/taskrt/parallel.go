@@ -1,0 +1,298 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+	"tdnuca/internal/sim"
+	"tdnuca/internal/sim/pdes"
+)
+
+// Conservative parallel task execution (Options.SimWorkers > 1).
+//
+// The sequential scheduler dispatches one task at a time and knows every
+// core clock exactly. The parallel engine keeps that schedule — the same
+// tasks on the same cores at the same cycles, in the same dispatch order
+// — but lets the *simulation work* of several dispatched tasks run
+// concurrently on a pdes.Engine worker pool. Worker count can therefore
+// never change results; it only changes wall-clock time. Three
+// disciplines make that bit-exact:
+//
+// Conservative dispatch. While flights are outstanding, their end times
+// are unknown; the only sound bound is end >= start+1 (enforced at
+// fold). planConservative re-derives the sequential planner's choice
+// using that bound: it dispatches the next task only when the pass-1
+// minimum estimate provably beats everything an in-flight completion
+// could contribute (bestEst < min(start_i)+1), when the earliest-free
+// core is provably not an in-flight core, and when affinity choices
+// cannot involve an in-flight core. Anything unprovable drains one
+// flight and retries — falling all the way back to the exact sequential
+// planner (plan) at zero flights, so stalls and watchdog errors are
+// byte-identical too.
+//
+// Conflict gating. A flight may only run concurrently when its reach —
+// the LLC home banks of its dependency blocks plus of everything its
+// core's L1 holds (machine.ReachBanks / L1ReachBanks) — is disjoint
+// from every outstanding flight's reach, its pages are already mapped,
+// and its core differs (guaranteed: in-flight cores are excluded from
+// planning). Reach-disjoint tasks on distinct cores touch disjoint
+// machine partitions (banks, directories, own L1/TLB), so their
+// simulations commute; each view's guard panics on any access that
+// would leave the granted reach, making the gate's soundness a runtime
+// invariant rather than an assumption.
+//
+// Canonical fold. Flights are folded strictly in dispatch order — the
+// order the sequential scheduler completes them in — restoring core
+// clocks, counters (machine.AbsorbShard), compute cost and successor
+// releases exactly as rt.run would have. The per-epoch "mailbox" is the
+// flight itself: everything a flight did sits in its shard view until
+// the coordinator absorbs it at the canonical point.
+//
+// Configurations the gate cannot prove safe (stateful policies, NoC
+// contention, tracing, hooks, fault injection) take the sequential path
+// inside the same Wait — equivalence tests cover them at every worker
+// count precisely because "parallel" must never mean "different".
+
+// flight is one dispatched task whose simulation may still be running
+// on a worker.
+type flight struct {
+	t     *Task
+	core  int
+	start sim.Cycles
+	reach arch.Mask
+	view  *machine.Machine
+	seq   uint64
+
+	// Written by the worker, read by the coordinator after eng.Wait.
+	end      sim.Cycles
+	compute  sim.Cycles
+	panicked any
+}
+
+// parallelOK reports whether this run's configuration allows concurrent
+// flights at all: no hooks (TD-NUCA's manager mutates RRT state), no
+// dispatch callback (fault injection must see a quiesced machine), no
+// tracer (one ordered event buffer), and a machine whose shared state
+// is partitionable (machine.ParallelSafe).
+func (rt *Runtime) parallelOK() bool {
+	if _, nop := rt.hooks.(NopHooks); !nop {
+		return false
+	}
+	return rt.opts.OnDispatch == nil && rt.tr == nil && rt.M.ParallelSafe()
+}
+
+// waitParallel drains all pending tasks like the sequential WaitChecked
+// loop, running provably independent flights on up to `workers` OS
+// workers.
+func (rt *Runtime) waitParallel(workers int) error {
+	if workers > len(rt.cores) {
+		workers = len(rt.cores)
+	}
+	if workers < 2 {
+		for rt.pending > 0 {
+			if err := rt.dispatchOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rt.M.EnterParallel()
+	eng := pdes.New(workers)
+	defer eng.Close()
+	free := make([]*machine.Machine, workers)
+	for i := range free {
+		free[i] = rt.M.ShardView()
+	}
+	var flights []*flight // dispatch order == canonical fold order
+
+	// joinEarliest folds the earliest outstanding flight: wait for its
+	// worker, then replay the completion bookkeeping exactly where the
+	// sequential schedule would have.
+	joinEarliest := func() {
+		fl := flights[0]
+		flights = flights[1:]
+		eng.Wait(fl.seq)
+		if fl.panicked != nil {
+			panic(fl.panicked)
+		}
+		if fl.end <= fl.start {
+			panic(fmt.Sprintf("taskrt: parallel flight %q ended at cycle %d, not after its start %d; conservative lookahead (end >= start+1) violated",
+				fl.t.Name, uint64(fl.end), uint64(fl.start)))
+		}
+		fl.view.ClearGuard()
+		rt.M.AbsorbShard(fl.view)
+		free = append(free, fl.view)
+		rt.computeCost += fl.compute
+		rt.finish(fl.t, fl.core, fl.end)
+	}
+
+	for rt.pending > 0 {
+		if rt.pending == len(flights) {
+			// Everything left is already in flight: fold.
+			joinEarliest()
+			continue
+		}
+		var idx, core int
+		var start sim.Cycles
+		if len(flights) == 0 {
+			var err *StallError
+			idx, core, err = rt.plan()
+			if err != nil {
+				return err
+			}
+			start = sim.Max(rt.ready[idx].ReadyAt, rt.coreFree[core])
+		} else {
+			var ok bool
+			idx, core, start, ok = rt.planConservative(flights)
+			if !ok {
+				// The next dispatch is not provable with these flights
+				// outstanding; fold one and retry.
+				joinEarliest()
+				continue
+			}
+		}
+		t := rt.ready[idx]
+		canFly := t.Body != nil && len(flights) < workers
+		var reach arch.Mask
+		if canFly {
+			reach, canFly = rt.flightReach(t, core, flights)
+		}
+		if !canFly {
+			// Barrier task, full pool, reach conflict or unmapped pages:
+			// drain toward the exact inline path.
+			if len(flights) > 0 {
+				joinEarliest()
+				continue
+			}
+			rt.ready = append(rt.ready[:idx], rt.ready[idx+1:]...)
+			rt.run(t, core, start)
+			continue
+		}
+		// Commit the dispatch as a concurrent flight. Hooks are NopHooks
+		// and OnDispatch/tracer are nil here (parallelOK), so rt.run's
+		// pre-body work reduces to exactly this.
+		rt.ready = append(rt.ready[:idx], rt.ready[idx+1:]...)
+		t.state = taskRunning
+		t.Core = core
+		t.StartedAt = start
+		view := free[len(free)-1]
+		free = free[:len(free)-1]
+		fl := &flight{t: t, core: core, start: start, reach: reach, view: view}
+		view.SetGuard(&fl.reach)
+		perBlock := rt.opts.ComputePerBlock
+		fl.seq = eng.Go(func() {
+			defer func() { fl.panicked = recover() }()
+			e := &Exec{m: fl.view, core: fl.core, clock: fl.start, perBlock: perBlock}
+			fl.t.Body(e)
+			fl.end = e.clock
+			fl.compute = e.compute
+		})
+		flights = append(flights, fl)
+	}
+	return nil
+}
+
+// planConservative mirrors plan under in-flight uncertainty: it returns
+// the same (task, core, start) the sequential planner will choose, or
+// ok=false when that choice cannot be proven yet. Callers must pass a
+// non-empty flight list (the zero-flight case is exact and handled by
+// plan).
+//
+// Soundness sketch: when this returns ok, the sequential execution —
+// which at this point has already folded every outstanding flight i at
+// some end E_i >= start_i+1 >= lmin — sees (a) the same minimum-free
+// core, because every known coreFree is shared and every E_i >= lmin >
+// minFree, with no ties possible; (b) the same pass-1 minimum, because
+// successors released by flights enter the FIFO tail with ReadyAt >=
+// E_i >= lmin > bestEst; and (c) the same pass-2 index, because those
+// tail tasks miss the est == bestEst filter and an in-flight affinity
+// core has coreFree = E_i > bestEst, failing the affinity condition
+// exactly as our busy-skip does.
+func (rt *Runtime) planConservative(flights []*flight) (idx, core int, start sim.Cycles, ok bool) {
+	if len(rt.ready) == 0 {
+		return -1, -1, 0, false
+	}
+	var busy arch.Mask
+	lmin := flights[0].start + 1
+	for _, fl := range flights {
+		busy = busy.Set(fl.core)
+		if b := fl.start + 1; b < lmin {
+			lmin = b
+		}
+	}
+	// pickCore over the provably-idle cores (same order, same strict-<
+	// tie-break as the sequential pickCore).
+	kcore := -1
+	for _, c := range rt.cores {
+		if busy.Has(c) {
+			continue
+		}
+		if kcore < 0 || rt.coreFree[c] < rt.coreFree[kcore] {
+			kcore = c
+		}
+	}
+	if kcore < 0 {
+		return -1, -1, 0, false
+	}
+	minFree := rt.coreFree[kcore]
+	if minFree >= lmin {
+		// An in-flight core could still end up the earliest-free one.
+		return -1, -1, 0, false
+	}
+	bestEst := sim.Max(rt.ready[0].ReadyAt, minFree)
+	for _, t := range rt.ready[1:] {
+		if est := sim.Max(t.ReadyAt, minFree); est < bestEst {
+			bestEst = est
+		}
+	}
+	if bestEst >= lmin {
+		// A successor released by an in-flight completion could lower the
+		// pass-1 minimum.
+		return -1, -1, 0, false
+	}
+	if rt.opts.MaxCycles > 0 && bestEst > rt.opts.MaxCycles {
+		// The watchdog fires here; drain so the exact planner produces
+		// the canonical StallError (bestEst is unchanged by the folds:
+		// released successors only estimate >= lmin > bestEst).
+		return -1, -1, 0, false
+	}
+	idx, core = -1, -1
+	for i, t := range rt.ready {
+		if sim.Max(t.ReadyAt, minFree) != bestEst {
+			continue
+		}
+		if idx < 0 {
+			idx, core = i, kcore
+			if rt.opts.DisableAffinity {
+				break
+			}
+		}
+		if aff := t.AffinityCore(); aff >= 0 && !busy.Has(aff) &&
+			sim.Max(t.ReadyAt, rt.coreFree[aff]) <= bestEst {
+			idx, core = i, aff
+			break
+		}
+	}
+	return idx, core, sim.Max(rt.ready[idx].ReadyAt, rt.coreFree[core]), true
+}
+
+// flightReach computes the candidate's reach mask and reports whether it
+// may fly alongside the outstanding flights: all dependency pages mapped
+// (a mid-flight page fault would mutate the shared allocator), and the
+// reach disjoint from every outstanding flight's.
+func (rt *Runtime) flightReach(t *Task, core int, flights []*flight) (arch.Mask, bool) {
+	var reach arch.Mask
+	for _, d := range t.Deps {
+		if !rt.M.ReachBanks(core, d.Range, &reach) {
+			return reach, false
+		}
+	}
+	rt.M.L1ReachBanks(core, &reach)
+	for _, fl := range flights {
+		if !reach.And(fl.reach).IsEmpty() {
+			return reach, false
+		}
+	}
+	return reach, true
+}

@@ -1,0 +1,386 @@
+package taskrt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tdnuca/internal/amath"
+	"tdnuca/internal/arch"
+	"tdnuca/internal/machine"
+	"tdnuca/internal/policy"
+	"tdnuca/internal/sim"
+	"tdnuca/internal/trace"
+)
+
+// taskRec is one task's observable schedule outcome.
+type taskRec struct {
+	Name    string
+	Core    int
+	Started sim.Cycles
+	Ended   sim.Cycles
+}
+
+// runSummary captures everything the parallel engine promises to keep
+// bit-identical: the schedule, the makespan, and every machine counter.
+type runSummary struct {
+	Tasks    []taskRec
+	Makespan sim.Cycles
+	Executed int
+	Metrics  machine.Metrics
+	Stack    trace.CycleStack
+}
+
+// runWorkload builds a fresh scaled machine, spawns the workload, waits
+// with the given worker count, and returns the summary.
+func runWorkload(t *testing.T, workers int, build func(rt *Runtime, m *machine.Machine) []*Task) runSummary {
+	t.Helper()
+	cfg := arch.ScaledConfig()
+	cfg.CheckInvariants = true
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	opts := DefaultOptions()
+	opts.SimWorkers = workers
+	rt := New(m, nil, opts)
+	tasks := build(rt, m)
+	if err := rt.WaitChecked(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if v := m.Violations(); len(v) > 0 {
+		t.Fatalf("workers=%d: coherence violations: %v", workers, v)
+	}
+	s := runSummary{
+		Makespan: rt.Makespan(),
+		Executed: rt.ExecutedTasks(),
+		Metrics:  m.Metrics(),
+		Stack:    m.CycleStack(),
+	}
+	for _, tk := range tasks {
+		s.Tasks = append(s.Tasks, taskRec{Name: tk.Name, Core: tk.Core, Started: tk.StartedAt, Ended: tk.EndedAt})
+	}
+	return s
+}
+
+// assertAllWorkerCountsAgree runs the workload at 1, 2, 4 and 8 workers
+// and requires byte-identical summaries.
+func assertAllWorkerCountsAgree(t *testing.T, build func(rt *Runtime, m *machine.Machine) []*Task) {
+	t.Helper()
+	want := runWorkload(t, 1, build)
+	for _, w := range []int{2, 4, 8} {
+		got := runWorkload(t, w, build)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d diverged from sequential:\n seq: %+v\n par: %+v", w, want, got)
+		}
+	}
+}
+
+// disjointChains spawns `chains` dependency chains of `depth` tasks.
+// Chain c's single-block dependency has block index c, so under S-NUCA
+// interleaving (bank = block mod NumCores) distinct chains reach
+// distinct banks and are provably independent — the workload the
+// conflict gate is designed to fly concurrently. Pages are pre-touched
+// so no flight ever faults.
+func disjointChains(chains, depth int) func(rt *Runtime, m *machine.Machine) []*Task {
+	return func(rt *Runtime, m *machine.Machine) []*Task {
+		bb := uint64(m.Cfg.BlockBytes)
+		m.Process(0).AS.Touch(amath.NewRange(0, uint64(m.Cfg.PageBytes)))
+		var tasks []*Task
+		for d := 0; d < depth; d++ {
+			for c := 0; c < chains; c++ {
+				va := amath.Addr(uint64(c) * bb)
+				dep := DepOn(InOut, va, bb)
+				name := fmt.Sprintf("c%d.%d", c, d)
+				cost := sim.Cycles(1000 + 997*c + 13*d) // uneven, deterministic
+				tk := rt.Spawn(name, []Dep{dep}, func(e *Exec) {
+					e.SweepReadWrite(dep.Range)
+					e.Compute(cost)
+				})
+				tasks = append(tasks, tk)
+			}
+		}
+		return tasks
+	}
+}
+
+// TestParallelChainsFlyAndMatchSequential: the flagship equivalence
+// check on a workload where flights genuinely overlap.
+func TestParallelChainsFlyAndMatchSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, disjointChains(8, 6))
+}
+
+// TestParallelConflictingTasksMatchSequential: every task touches the
+// same range, so the conflict gate must serialize everything — results
+// still identical (and the gate must not deadlock or drop tasks).
+func TestParallelConflictingTasksMatchSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, func(rt *Runtime, m *machine.Machine) []*Task {
+		r := amath.NewRange(0, 4096)
+		var tasks []*Task
+		for i := 0; i < 12; i++ {
+			mode := In
+			if i%3 == 0 {
+				mode = InOut
+			}
+			tk := rt.Spawn(fmt.Sprintf("t%d", i), []Dep{{Range: r, Mode: mode}}, func(e *Exec) {
+				e.SweepRead(r)
+				e.Compute(2000)
+			})
+			tasks = append(tasks, tk)
+		}
+		return tasks
+	})
+}
+
+// TestParallelBarriersMatchSequential: nil-body tasks (pure
+// synchronization) must never become flights; the phases around them
+// still parallelize.
+func TestParallelBarriersMatchSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, func(rt *Runtime, m *machine.Machine) []*Task {
+		bb := uint64(m.Cfg.BlockBytes)
+		m.Process(0).AS.Touch(amath.NewRange(0, uint64(m.Cfg.PageBytes)))
+		var tasks []*Task
+		deps := make([]Dep, 0, 4)
+		for c := 0; c < 4; c++ {
+			dep := DepOn(InOut, amath.Addr(uint64(c)*bb), bb)
+			deps = append(deps, dep)
+			tasks = append(tasks, rt.Spawn(fmt.Sprintf("a%d", c), []Dep{dep}, func(e *Exec) {
+				e.SweepReadWrite(dep.Range)
+				e.Compute(3000)
+			}))
+		}
+		tasks = append(tasks, rt.Spawn("barrier", deps, nil))
+		for c := 0; c < 4; c++ {
+			dep := deps[c]
+			tasks = append(tasks, rt.Spawn(fmt.Sprintf("b%d", c), []Dep{dep}, func(e *Exec) {
+				e.SweepReadWrite(dep.Range)
+				e.Compute(1500)
+			}))
+		}
+		return tasks
+	})
+}
+
+// TestParallelFirstTouchMatchesSequential: dependency pages start
+// unmapped, so early tasks must run inline (a flight may never fault);
+// later rounds reuse the now-mapped pages and may fly.
+func TestParallelFirstTouchMatchesSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, func(rt *Runtime, m *machine.Machine) []*Task {
+		bb := uint64(m.Cfg.BlockBytes)
+		var tasks []*Task
+		for d := 0; d < 3; d++ {
+			for c := 0; c < 6; c++ {
+				dep := DepOn(InOut, amath.Addr(uint64(c)*bb), bb)
+				tk := rt.Spawn(fmt.Sprintf("f%d.%d", c, d), []Dep{dep}, func(e *Exec) {
+					e.SweepReadWrite(dep.Range)
+					e.Compute(1000)
+				})
+				tasks = append(tasks, tk)
+			}
+		}
+		return tasks
+	})
+}
+
+// TestParallelWholePagesSaturateGate: page-sized dependencies reach
+// every bank (>= NumCores blocks saturates the reach mask), so no two
+// tasks may overlap — the paper-workload shape. Identical results are
+// the whole point; this also exercises the join-drain path constantly.
+func TestParallelWholePagesSaturateGate(t *testing.T) {
+	assertAllWorkerCountsAgree(t, func(rt *Runtime, m *machine.Machine) []*Task {
+		pb := uint64(m.Cfg.PageBytes)
+		var tasks []*Task
+		for i := 0; i < 8; i++ {
+			dep := DepOn(Out, amath.Addr(uint64(i)*pb), pb)
+			tasks = append(tasks, rt.Spawn(fmt.Sprintf("p%d", i), []Dep{dep}, func(e *Exec) {
+				e.SweepWrite(dep.Range)
+			}))
+		}
+		return tasks
+	})
+}
+
+// TestParallelUnsafeConfigFallsBack: a tracer makes the machine
+// ParallelSafe()==false; SimWorkers>1 must quietly take the sequential
+// path and still produce sequential results.
+func TestParallelUnsafeConfigFallsBack(t *testing.T) {
+	cfg := arch.ScaledConfig()
+	m := machine.MustNew(&cfg, 0, 1)
+	m.SetPolicy(policy.NewSNUCA())
+	m.SetTracer(trace.New(trace.Options{}))
+	opts := DefaultOptions()
+	opts.SimWorkers = 8
+	rt := New(m, nil, opts)
+	if rt.parallelOK() {
+		t.Fatal("parallelOK with a tracer attached")
+	}
+	rt.Spawn("t", []Dep{DepOn(Out, 0, 4096)}, func(e *Exec) { e.SweepWrite(amath.NewRange(0, 4096)) })
+	if err := rt.WaitChecked(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ExecutedTasks() != 1 {
+		t.Fatalf("executed = %d", rt.ExecutedTasks())
+	}
+}
+
+// TestParallelWatchdogStallIdentical: the watchdog StallError must be
+// byte-identical at every worker count (the conservative planner drains
+// and delegates the stall to the exact sequential planner).
+func TestParallelWatchdogStallIdentical(t *testing.T) {
+	stallAt := func(workers int) string {
+		cfg := arch.ScaledConfig()
+		m := machine.MustNew(&cfg, 0, 1)
+		m.SetPolicy(policy.NewSNUCA())
+		opts := DefaultOptions()
+		opts.SimWorkers = workers
+		opts.MaxCycles = 40_000
+		rt := New(m, nil, opts)
+		bb := uint64(m.Cfg.BlockBytes)
+		m.Process(0).AS.Touch(amath.NewRange(0, uint64(m.Cfg.PageBytes)))
+		for d := 0; d < 40; d++ {
+			for c := 0; c < 8; c++ {
+				dep := DepOn(InOut, amath.Addr(uint64(c)*bb), bb)
+				rt.Spawn(fmt.Sprintf("w%d.%d", c, d), []Dep{dep}, func(e *Exec) {
+					e.SweepReadWrite(dep.Range)
+					e.Compute(50_000)
+				})
+			}
+		}
+		err := rt.WaitChecked()
+		if err == nil {
+			t.Fatalf("workers=%d: watchdog never fired", workers)
+		}
+		return err.Error()
+	}
+	want := stallAt(1)
+	for _, w := range []int{2, 8} {
+		if got := stallAt(w); got != want {
+			t.Errorf("workers=%d stall differs:\n seq: %s\n par: %s", w, want, got)
+		}
+	}
+}
+
+// heavyChains is the benchmark variant of disjointChains: each chain-c
+// task depends on many single-block ranges whose block indices are all
+// congruent to c modulo NumCores, so every block of chain c homes on the
+// same bank (block offsets within a page repeat mod NumCores because
+// blocksPerPage is a multiple of NumCores). Flights therefore stay
+// reach-disjoint while carrying enough simulation work per task to
+// amortize the worker handoff.
+func heavyChains(chains, depth, pages int) func(rt *Runtime, m *machine.Machine) []*Task {
+	return func(rt *Runtime, m *machine.Machine) []*Task {
+		bb := uint64(m.Cfg.BlockBytes)
+		pb := uint64(m.Cfg.PageBytes)
+		nc := uint64(m.Cfg.NumCores)
+		blocksPerPage := pb / bb
+		m.Process(0).AS.Touch(amath.NewRange(0, uint64(pages)*pb))
+		var tasks []*Task
+		for d := 0; d < depth; d++ {
+			for c := 0; c < chains; c++ {
+				var deps []Dep
+				for p := 0; p < pages; p++ {
+					for off := uint64(c); off < blocksPerPage; off += nc {
+						va := amath.Addr(uint64(p)*pb + off*bb)
+						deps = append(deps, DepOn(InOut, va, bb))
+					}
+				}
+				tk := rt.Spawn(fmt.Sprintf("h%d.%d", c, d), deps, func(e *Exec) {
+					for r := 0; r < 4; r++ {
+						for _, dp := range deps {
+							e.SweepReadWrite(dp.Range)
+						}
+					}
+					e.Compute(5000)
+				})
+				tasks = append(tasks, tk)
+			}
+		}
+		return tasks
+	}
+}
+
+// TestParallelHeavyChainsMatchSequential covers the multi-dep reach
+// computation on the benchmark workload itself.
+func TestParallelHeavyChainsMatchSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, heavyChains(8, 4, 4))
+}
+
+// barrierRounds is the fork-join variant of heavyChains: rounds of
+// reach-disjoint heavy tasks separated by a nil-body barrier. The
+// barrier gives every task of a round the same ReadyAt, so the
+// conservative planner (whose only end-time bound for a running flight
+// is start+1) can prove simultaneous starts and genuinely overlap the
+// flights — the workload shape conservative task-level PDES is built
+// for. Staggered chains, by contrast, serialize: each later start
+// exceeds the earliest flight's one-cycle lookahead.
+func barrierRounds(groups, rounds, pages int) func(rt *Runtime, m *machine.Machine) []*Task {
+	return func(rt *Runtime, m *machine.Machine) []*Task {
+		bb := uint64(m.Cfg.BlockBytes)
+		pb := uint64(m.Cfg.PageBytes)
+		nc := uint64(m.Cfg.NumCores)
+		blocksPerPage := pb / bb
+		m.Process(0).AS.Touch(amath.NewRange(0, uint64(pages)*pb))
+		var tasks []*Task
+		barrierDeps := make([]Dep, 0, groups)
+		for c := 0; c < groups; c++ {
+			barrierDeps = append(barrierDeps, DepOn(InOut, amath.Addr(uint64(c)*bb), bb))
+		}
+		for d := 0; d < rounds; d++ {
+			for c := 0; c < groups; c++ {
+				var deps []Dep
+				for p := 0; p < pages; p++ {
+					for off := uint64(c); off < blocksPerPage; off += nc {
+						va := amath.Addr(uint64(p)*pb + off*bb)
+						deps = append(deps, DepOn(InOut, va, bb))
+					}
+				}
+				tk := rt.Spawn(fmt.Sprintf("r%d.%d", c, d), deps, func(e *Exec) {
+					for r := 0; r < 4; r++ {
+						for _, dp := range deps {
+							e.SweepReadWrite(dp.Range)
+						}
+					}
+					// Dominate the per-round creation cost so every round
+					// after the first becomes ready at one single cycle
+					// (the barrier's end) — the provably-simultaneous shape.
+					e.Compute(20000)
+				})
+				tasks = append(tasks, tk)
+			}
+			tasks = append(tasks, rt.Spawn(fmt.Sprintf("bar%d", d), barrierDeps, nil))
+		}
+		return tasks
+	}
+}
+
+// TestParallelBarrierRoundsMatchSequential covers the benchmark's
+// fork-join workload at every worker count.
+func TestParallelBarrierRoundsMatchSequential(t *testing.T) {
+	assertAllWorkerCountsAgree(t, barrierRounds(8, 4, 4))
+}
+
+// benchChains runs the fork-join disjoint workload once per iteration.
+func benchChains(b *testing.B, workers int) {
+	cfgT := arch.ScaledConfig()
+	build := barrierRounds(8, 16, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // machine construction and task creation are not the engine
+		m := machine.MustNew(&cfgT, 0, 1)
+		m.SetPolicy(policy.NewSNUCA())
+		opts := DefaultOptions()
+		opts.SimWorkers = workers
+		rt := New(m, nil, opts)
+		build(rt, m)
+		b.StartTimer()
+		if err := rt.WaitChecked(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDESChains measures intra-run scaling of the conservative
+// engine on its best-case workload (reach-disjoint chains).
+func BenchmarkPDESChains(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchChains(b, w) })
+	}
+}

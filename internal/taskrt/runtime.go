@@ -66,6 +66,15 @@ type Options struct {
 	// here: dispatch boundaries are the only points where no task is
 	// mid-flight, so injected reconfigurations stay deterministic.
 	OnDispatch func(now sim.Cycles) sim.Cycles
+	// SimWorkers bounds the conservative-PDES worker pool (see
+	// parallel.go and internal/sim/pdes) used to execute provably
+	// independent ready tasks concurrently. 0 and 1 select the sequential
+	// engine unchanged; higher values change wall-clock time only —
+	// results are bit-identical at every setting by construction, and
+	// configurations the conflict gate cannot prove safe (stateful
+	// policies, NoC contention, tracing, hooks) fall back to sequential
+	// execution within the same Wait.
+	SimWorkers int
 }
 
 // DefaultOptions returns the cost model used by all experiments.
@@ -183,9 +192,15 @@ func (rt *Runtime) Wait() {
 // dependency) or an exceeded cycle budget comes back as a *StallError
 // naming the stuck tasks. On success it behaves exactly like Wait.
 func (rt *Runtime) WaitChecked() error {
-	for rt.pending > 0 {
-		if err := rt.dispatchOne(); err != nil {
+	if w := rt.opts.SimWorkers; w > 1 && rt.parallelOK() {
+		if err := rt.waitParallel(w); err != nil {
 			return err
+		}
+	} else {
+		for rt.pending > 0 {
+			if err := rt.dispatchOne(); err != nil {
+				return err
+			}
 		}
 	}
 	// Barrier: every thread of this runtime reaches the sync point
@@ -221,8 +236,24 @@ func (rt *Runtime) WaitFor(t *Task) {
 // a *StallError when the watchdog detects the schedule cannot (deadlock)
 // or should not (cycle budget) continue.
 func (rt *Runtime) dispatchOne() *StallError {
+	idx, core, err := rt.plan()
+	if err != nil {
+		return err
+	}
+	t := rt.ready[idx]
+	rt.ready = append(rt.ready[:idx], rt.ready[idx+1:]...)
+	rt.run(t, core, sim.Max(t.ReadyAt, rt.coreFree[core]))
+	return nil
+}
+
+// plan is the scheduler's selection function: it picks which ready task
+// the next dispatch runs and on which core, without executing anything.
+// dispatchOne runs its choice immediately; the parallel engine
+// (parallel.go) uses plan when nothing is in flight and proves its own
+// selection identical to plan's when flights exist.
+func (rt *Runtime) plan() (idx, core int, err *StallError) {
 	if len(rt.ready) == 0 {
-		return rt.stallError(StallDeadlock, 0)
+		return -1, -1, rt.stallError(StallDeadlock, 0)
 	}
 	minFree := rt.coreFree[rt.pickCore()]
 	// Pass 1: the earliest feasible dispatch time over all ready tasks
@@ -234,12 +265,12 @@ func (rt *Runtime) dispatchOne() *StallError {
 		}
 	}
 	if rt.opts.MaxCycles > 0 && bestEst > rt.opts.MaxCycles {
-		return rt.stallError(StallBudget, bestEst)
+		return -1, -1, rt.stallError(StallBudget, bestEst)
 	}
 	// Pass 2: among the tasks dispatchable at that time, prefer one whose
 	// affinity core can take it without delay; otherwise the FIFO-first
 	// dispatchable task on the earliest-free core.
-	idx, core := -1, -1
+	idx, core = -1, -1
 	for i, t := range rt.ready {
 		if sim.Max(t.ReadyAt, minFree) != bestEst {
 			continue
@@ -255,10 +286,7 @@ func (rt *Runtime) dispatchOne() *StallError {
 			break
 		}
 	}
-	t := rt.ready[idx]
-	rt.ready = append(rt.ready[:idx], rt.ready[idx+1:]...)
-	rt.run(t, core, sim.Max(t.ReadyAt, rt.coreFree[core]))
-	return nil
+	return idx, core, nil
 }
 
 // pickCore returns the earliest-free core of this runtime's core set,
@@ -292,15 +320,23 @@ func (rt *Runtime) run(t *Task, core int, start sim.Cycles) {
 	rt.hookCost += h
 
 	if t.Body != nil {
-		e := &Exec{rt: rt, core: core, clock: clock}
+		e := &Exec{m: rt.M, core: core, clock: clock, perBlock: rt.opts.ComputePerBlock}
 		t.Body(e)
 		clock = e.clock
+		rt.computeCost += e.compute
 	}
 
 	h = rt.hooks.TaskEnded(t, core)
 	clock += h
 	rt.hookCost += h
 
+	rt.finish(t, core, clock)
+}
+
+// finish is the completion bookkeeping shared by the sequential run and
+// the parallel engine's dispatch-order folds: clocks, counters, and the
+// FIFO-order release of successors.
+func (rt *Runtime) finish(t *Task, core int, clock sim.Cycles) {
 	t.EndedAt = clock
 	t.state = taskDone
 	rt.coreFree[core] = clock
@@ -348,10 +384,19 @@ func (rt *Runtime) Tasks() []*Task { return rt.tasks }
 
 // Exec is the execution context handed to task bodies: it issues memory
 // accesses on the task's core and advances the core-local clock.
+//
+// Exec deliberately holds a machine reference — not the Runtime — so a
+// body cannot reach scheduler state: under the parallel engine the
+// machine is a per-flight shard view and the compute accumulator is
+// flight-local, folded back by the coordinator in dispatch order. This
+// also makes mid-body Spawn impossible by construction, which the
+// conservative dispatch proof relies on.
 type Exec struct {
-	rt    *Runtime
-	core  int
-	clock sim.Cycles
+	m        *machine.Machine
+	core     int
+	clock    sim.Cycles
+	perBlock sim.Cycles // Options.ComputePerBlock, captured at dispatch
+	compute  sim.Cycles // body's pure-compute cycles, folded after the flight
 }
 
 // Core returns the core executing the task.
@@ -361,44 +406,41 @@ func (e *Exec) Core() int { return e.core }
 func (e *Exec) Now() sim.Cycles { return e.clock }
 
 // Read issues a load from the virtual address.
-func (e *Exec) Read(va amath.Addr) { e.clock += e.rt.M.AccessAt(e.core, va, false, e.clock) }
+func (e *Exec) Read(va amath.Addr) { e.clock += e.m.AccessAt(e.core, va, false, e.clock) }
 
 // Write issues a store to the virtual address.
-func (e *Exec) Write(va amath.Addr) { e.clock += e.rt.M.AccessAt(e.core, va, true, e.clock) }
+func (e *Exec) Write(va amath.Addr) { e.clock += e.m.AccessAt(e.core, va, true, e.clock) }
 
 // Compute advances the clock by pure-compute cycles.
 func (e *Exec) Compute(c sim.Cycles) {
 	e.clock += c
-	e.rt.computeCost += c
+	e.compute += c
 }
 
 // SweepRead streams through the range reading one word per cache block
 // and charging the per-block compute cost.
 func (e *Exec) SweepRead(r amath.Range) {
-	bb := e.rt.M.Cfg.BlockBytes
-	r.EachBlock(bb, func(b amath.Addr) {
+	r.EachBlock(e.m.Cfg.BlockBytes, func(b amath.Addr) {
 		e.Read(b)
-		e.Compute(e.rt.opts.ComputePerBlock)
+		e.Compute(e.perBlock)
 	})
 }
 
 // SweepWrite streams through the range writing one word per cache block.
 func (e *Exec) SweepWrite(r amath.Range) {
-	bb := e.rt.M.Cfg.BlockBytes
-	r.EachBlock(bb, func(b amath.Addr) {
+	r.EachBlock(e.m.Cfg.BlockBytes, func(b amath.Addr) {
 		e.Write(b)
-		e.Compute(e.rt.opts.ComputePerBlock)
+		e.Compute(e.perBlock)
 	})
 }
 
 // SweepReadWrite streams through the range performing a read-modify-write
 // per cache block.
 func (e *Exec) SweepReadWrite(r amath.Range) {
-	bb := e.rt.M.Cfg.BlockBytes
-	r.EachBlock(bb, func(b amath.Addr) {
+	r.EachBlock(e.m.Cfg.BlockBytes, func(b amath.Addr) {
 		e.Read(b)
 		e.Write(b)
-		e.Compute(e.rt.opts.ComputePerBlock)
+		e.Compute(e.perBlock)
 	})
 }
 
