@@ -3,8 +3,10 @@
 #   make ci          everything a PR must pass: build, vet, lint, tests,
 #                    race, one-iteration benchmark smoke
 #   make lint        go vet + tdnuca-lint, the repo's own static-analysis
-#                    suite (determinism / hot-path allocation / units;
-#                    DESIGN.md §9)
+#                    suite (determinism / hot-path allocation / units /
+#                    shardsafe flight isolation; DESIGN.md §9, §14)
+#   make lint-timing lint under a wall-clock budget: the analyzer must
+#                    stay fast enough to run on every PR
 #   make race        race detector over the concurrent harness and the
 #                    packages its worker pool drives
 #   make bench       measure the simulator-core benchmarks and write the
@@ -31,7 +33,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke fuzz-smoke golden ci
+.PHONY: build test race vet lint lint-timing bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke fuzz-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -52,11 +54,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The repo's own analyzer: determinism, hot-path allocation and
-# config/units invariants (DESIGN.md §9). Exits non-zero on findings;
-# add -json for the machine-readable report (schema in EXPERIMENTS.md).
+# The repo's own analyzer: determinism, hot-path allocation,
+# config/units and shardsafe flight-isolation invariants (DESIGN.md §9,
+# §14). Exits non-zero on findings; add -json for the machine-readable
+# report (schema in EXPERIMENTS.md).
 lint: vet
 	$(GO) run ./cmd/tdnuca-lint
+
+# The same analyzer under a generous wall-clock budget: the whole suite
+# (load + type-check + four passes over the module) must stay cheap
+# enough to run on every PR. 60s is ~30x the current cost on a loaded
+# CI worker; tripping it means a pass went superlinear.
+lint-timing:
+	$(GO) run ./cmd/tdnuca-lint -budget 60s
 
 # The tracked simulator-core numbers: ns and allocs per simulated
 # access (hit and eviction-churn variants) plus the full experiment
@@ -113,4 +123,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./internal/harness -run 'Golden|TestGeneratedGoldenDigests' -update
 
-ci: build lint test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke
+ci: build lint lint-timing test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke

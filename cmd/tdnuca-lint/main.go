@@ -1,12 +1,18 @@
 // Command tdnuca-lint runs the internal/analysis static-analysis suite
-// over the module: the determinism, hot-path allocation, and config/units
-// passes described in DESIGN.md §9.
+// over the module: the determinism, hot-path allocation, config/units and
+// shardsafe flight-isolation passes described in DESIGN.md §9 and §14.
 //
 // Usage:
 //
-//	tdnuca-lint [-root dir] [-json]
+//	tdnuca-lint [-root dir] [-json] [-budget duration]
 //
-// Exit status: 0 when clean, 1 when findings exist, 2 on a load error.
+// -budget bounds the analyzer's own wall time (the lint-timing CI smoke):
+// the suite reloads and re-checks the whole module from source, so a
+// pathological regression in the loader or a pass shows up as runtime
+// long before it shows up as pain.
+//
+// Exit status: 0 when clean, 1 when findings exist or the budget is
+// exceeded, 2 on a load error.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"tdnuca/internal/analysis"
 )
@@ -22,13 +29,16 @@ import (
 func main() {
 	root := flag.String("root", ".", "module root to analyze")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (schema in EXPERIMENTS.md)")
+	budget := flag.Duration("budget", 0, "fail if the analysis takes longer than this (0 = no limit)")
 	flag.Parse()
 
+	start := time.Now()
 	rep, err := analysis.Run(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tdnuca-lint: %v\n", err)
 		os.Exit(2)
 	}
+	elapsed := time.Since(start)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -54,7 +64,12 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if len(rep.Findings) > 0 {
+	overBudget := *budget > 0 && elapsed > *budget
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "tdnuca-lint: analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+	}
+	if len(rep.Findings) > 0 || overBudget {
 		os.Exit(1)
 	}
 }

@@ -1,17 +1,24 @@
-// Package analysis is the tdnuca-lint static-analysis suite: three
+// Package analysis is the tdnuca-lint static-analysis suite: four
 // stdlib-only passes (go/parser + go/types, no external tooling) that
 // guard the simulator's core invariants at the source level.
 //
 //	determinism — simulation code must be bit-reproducible: no unordered
 //	              map iteration feeding state or output, no wall clock,
-//	              no math/rand, no stray goroutines.
+//	              no math/rand, no stray goroutines; the goroutine
+//	              allowlist is itself verified (stale entries fail).
 //	hotpath     — //tdnuca:hotpath functions must stay allocation-free,
 //	              transitively (the PR-2 zero-allocation property).
 //	units       — architectural latencies live in internal/arch; raw
 //	              integer literals as sim.Cycles elsewhere are flagged.
+//	shardsafe   — the PDES flight closure (everything reachable from the
+//	              taskrt Exec entry points) must stay shard-isolated: no
+//	              global writes, no writes outside the declared shard
+//	              surface, no synchronization outside internal/sim/pdes,
+//	              no calls escaping the analyzed closure (DESIGN.md §14).
 //
 // Suppressions use //tdnuca:allow(<rule>) <reason> directives; a
-// suppression without a reason is itself a finding. See DESIGN.md §9.
+// suppression without a reason is itself a finding, and so is one that
+// suppresses nothing. See DESIGN.md §9 and §14.
 package analysis
 
 // Run loads the module rooted at root and applies every pass, returning
@@ -27,5 +34,9 @@ func Run(root string) (*Report, error) {
 	findings = append(findings, determinismPass(prog, dirs)...)
 	findings = append(findings, hotpathPass(prog, dirs)...)
 	findings = append(findings, unitsPass(prog, dirs)...)
+	findings = append(findings, shardsafePass(prog, dirs)...)
+	// After every pass has had its chance to consult a suppression:
+	// anything still unused is dead weight.
+	findings = append(findings, dirs.staleAllows()...)
 	return newReport(prog.Module, findings), nil
 }

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The repo-wide static call graph over the loaded Program: one edge per
+// call site whose callee is statically resolvable to a module function
+// with a parsed body. Dynamic dispatch (interface methods), function
+// values and the standard library are deliberately outside the graph —
+// the shardsafe pass classifies those call sites itself (rule "escape"
+// for the first two, assumed-inert for stdlib), so an absent edge is
+// never a silently dropped one.
+
+// callEdge is one statically resolved call site.
+type callEdge struct {
+	caller *types.Func // enclosing declaration
+	callee *types.Func // resolved target, always module-declared with a body
+	site   *ast.CallExpr
+	pkg    *Package // package containing the call site
+}
+
+// callGraph maps every module function declaration to its resolvable
+// callees, in source order.
+type callGraph struct {
+	prog  *Program
+	edges map[*types.Func][]callEdge
+}
+
+// buildCallGraph scans every function declaration in the module
+// (including bodies of nested function literals) and records its
+// resolvable call edges.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{prog: prog, edges: make(map[*types.Func][]callEdge)}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				for _, e := range calleesIn(prog, pkg, fd.Body) {
+					e.caller = fn
+					g.edges[fn] = append(g.edges[fn], e)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// calleesIn collects the resolvable call edges under one AST subtree
+// (caller and pkg fields unset for the former; callers fill caller in).
+func calleesIn(prog *Program, pkg *Package, root ast.Node) []callEdge {
+	var out []callEdge
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := resolvableCallee(prog, pkg.Info, call); fn != nil {
+			out = append(out, callEdge{callee: fn, site: call, pkg: pkg})
+		}
+		return true
+	})
+	return out
+}
+
+// resolvableCallee resolves a call site to a module-declared function or
+// method with a parsed body, or nil: conversions, builtins, interface
+// dispatch, function values and out-of-module targets all yield nil.
+func resolvableCallee(prog *Program, info *types.Info, call *ast.CallExpr) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil &&
+		types.IsInterface(sig.Recv().Type().Underlying()) {
+		return nil // dynamic dispatch
+	}
+	if fn.Pkg() == nil || !isModulePath(prog.Module, fn.Pkg().Path()) {
+		return nil
+	}
+	if prog.FuncDecls[fn] == nil {
+		return nil // no parsed body to follow
+	}
+	return fn
+}

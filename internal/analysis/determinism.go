@@ -30,6 +30,10 @@ import (
 //	            and the conservative parallel engine (internal/sim/pdes),
 //	            the audited places where concurrency is proven equivalent
 //	            to sequential execution. Simulation packages only.
+//	staleallow — a goroutineAllowlist entry that no longer matches any go
+//	            statement. The allowlist is verified, not hand-trusted: a
+//	            sanctioned location that stops spawning loses its sanction,
+//	            so the list cannot silently grow stale.
 
 // wallClockFuncs are the time package functions that read the wall clock
 // or schedule against it.
@@ -57,7 +61,28 @@ func mapRangeScope(pkg *Package) bool {
 	return simPackage(pkg) || strings.HasPrefix(pkg.Rel, "cmd/")
 }
 
+// goAllowEntry is one verified entry of the goroutine allowlist: a
+// package (optionally narrowed to one file) where `go` statements are
+// sanctioned. matched records whether any go statement actually hit the
+// entry this run; an unmatched entry is reported stale.
+type goAllowEntry struct {
+	pkg     string // module-relative package path
+	file    string // optional file base-name restriction ("" = whole package)
+	matched bool
+}
+
+// goroutineAllowlist returns the sanctioned worker-pool locations: the
+// harness run pool and the conservative parallel engine. Fresh records
+// per run, so match bookkeeping never leaks between Run calls.
+func goroutineAllowlist() []*goAllowEntry {
+	return []*goAllowEntry{
+		{pkg: "internal/harness", file: "parallel.go"},
+		{pkg: "internal/sim/pdes"},
+	}
+}
+
 func determinismPass(prog *Program, dirs *directives) []Finding {
+	allow := goroutineAllowlist()
 	var out []Finding
 	for _, pkg := range prog.Pkgs {
 		if !mapRangeScope(pkg) {
@@ -65,12 +90,57 @@ func determinismPass(prog *Program, dirs *directives) []Finding {
 		}
 		sim := simPackage(pkg)
 		for _, f := range pkg.Files {
-			w := &detWalker{prog: prog, pkg: pkg, dirs: dirs, sim: sim}
+			w := &detWalker{prog: prog, pkg: pkg, dirs: dirs, sim: sim, allow: allow}
 			w.walkFile(f)
 			out = append(out, w.findings...)
 		}
 	}
+	out = append(out, staleGoAllows(prog, allow)...)
 	return out
+}
+
+// staleGoAllows reports every allowlist entry that matched no go
+// statement, anchored at the entry's package clause (or the named file)
+// so the finding points at the code that lost its sanction.
+func staleGoAllows(prog *Program, allow []*goAllowEntry) []Finding {
+	var out []Finding
+	for _, e := range allow {
+		if e.matched {
+			continue
+		}
+		desc := e.pkg
+		if e.file != "" {
+			desc += "/" + e.file
+		}
+		file, line, col := goAllowAnchor(prog, e)
+		out = append(out, Finding{
+			Pass: "determinism", Rule: "staleallow", File: file, Line: line, Col: col,
+			Message: "goroutine allowlist entry " + desc + " matches no go statement; remove it from goroutineAllowlist (internal/analysis/determinism.go)",
+		})
+	}
+	return out
+}
+
+// goAllowAnchor locates the package clause (or named file) an unmatched
+// allowlist entry refers to. A package that does not even exist anchors
+// at a synthesized position on its would-be path.
+func goAllowAnchor(prog *Program, e *goAllowEntry) (string, int, int) {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Rel != e.pkg {
+			continue
+		}
+		for _, f := range pkg.Files {
+			file, line, col := prog.Position(f.Pos())
+			if e.file == "" || path.Base(file) == e.file {
+				return file, line, col
+			}
+		}
+	}
+	file := e.pkg
+	if e.file != "" {
+		file += "/" + e.file
+	}
+	return file, 1, 1
 }
 
 type detWalker struct {
@@ -78,6 +148,7 @@ type detWalker struct {
 	pkg      *Package
 	dirs     *directives
 	sim      bool
+	allow    []*goAllowEntry
 	fn       *ast.FuncDecl // enclosing function declaration
 	findings []Finding
 }
@@ -126,19 +197,27 @@ func (w *detWalker) visit(n ast.Node) bool {
 	return true
 }
 
-// goAllowedHere implements the built-in goroutine exemptions: the
+// goAllowedHere implements the verified goroutine exemptions: the
 // harness worker pool file and the conservative parallel engine, whose
 // ordered-join discipline is what makes worker concurrency equivalent to
-// sequential execution (see internal/sim/pdes package doc).
+// sequential execution (see internal/sim/pdes package doc). A hit marks
+// the entry live; entries that never hit are reported stale after the
+// pass.
 func (w *detWalker) goAllowedHere(n *ast.GoStmt) bool {
-	if w.pkg.PkgPath == w.prog.Module+"/internal/sim/pdes" {
+	for _, e := range w.allow {
+		if w.pkg.Rel != e.pkg {
+			continue
+		}
+		if e.file != "" {
+			file, _, _ := w.prog.Position(n.Pos())
+			if path.Base(file) != e.file {
+				continue
+			}
+		}
+		e.matched = true
 		return true
 	}
-	if w.pkg.PkgPath != w.prog.Module+"/internal/harness" {
-		return false
-	}
-	file, _, _ := w.prog.Position(n.Pos())
-	return path.Base(file) == "parallel.go"
+	return false
 }
 
 // checkIdentUse flags uses of wall-clock and math/rand symbols.

@@ -6,11 +6,19 @@ import (
 	"strings"
 )
 
-// Directive syntax (DESIGN.md §9):
+// Directive syntax (DESIGN.md §9, §14):
 //
 //	//tdnuca:hotpath
 //	    On a function's doc comment: the function must stay
 //	    allocation-free, transitively, on every resolvable call path.
+//
+//	//tdnuca:shardsafe
+//	    On a function's doc comment: the function is an audited part of
+//	    the declared shard surface — the shardsafe pass exempts its
+//	    shared-state writes and synchronization, but still descends into
+//	    it and still reports global writes and closure escapes. An
+//	    annotation that is unreachable from the flight entry points, or
+//	    that exempts nothing, is itself a finding (rule "stale").
 //
 //	//tdnuca:allow(<rule>) <reason>
 //	    Suppresses findings of <rule>. On a function's doc comment it
@@ -18,7 +26,9 @@ import (
 //	    transitive hot-path walk from descending into it). On or
 //	    immediately above an offending line it exempts that line only.
 //	    The reason is mandatory: a suppression without a recorded
-//	    justification is itself a finding.
+//	    justification is itself a finding. So is a suppression that
+//	    suppresses nothing (pass "directive", rule "stale"): allows must
+//	    not outlive the code they excused.
 
 // knownRules are the rule names accepted inside allow(...).
 var knownRules = map[string]bool{
@@ -28,6 +38,33 @@ var knownRules = map[string]bool{
 	"goroutine": true,
 	"alloc":     true,
 	"latency":   true,
+	"shardsafe": true,
+}
+
+// allowUse is one parsed //tdnuca:allow directive plus whether any pass
+// consulted it to suppress a finding (or to stop a transitive walk).
+// The line, line-below and function-scope registrations of a single
+// directive share one record, so one suppression anywhere marks the
+// directive live; a record still unused after every pass has run is
+// reported stale.
+type allowUse struct {
+	file string
+	line int
+	col  int
+	rule string
+	used bool
+}
+
+// shardAnno is one //tdnuca:shardsafe function annotation plus the
+// bookkeeping the shardsafe pass needs to prove it is still earning its
+// keep: whether the flight closure reaches the function at all, and how
+// many findings the annotation exempted.
+type shardAnno struct {
+	file     string
+	line     int
+	col      int
+	reached  bool
+	exempted int
 }
 
 // directives is the parsed directive set of a whole Program.
@@ -37,13 +74,20 @@ type directives struct {
 	// hotFuncs are the //tdnuca:hotpath roots in declaration order.
 	hotFuncs []*types.Func
 
-	// funcAllow exempts entire functions: decl -> rule set.
-	funcAllow map[*ast.FuncDecl]map[string]bool
+	// shardFuncs are the //tdnuca:shardsafe-annotated declarations.
+	shardFuncs map[*ast.FuncDecl]*shardAnno
 
-	// lineAllow exempts single lines: file -> line -> rule set. A
+	// funcAllow exempts entire functions: decl -> rule -> record.
+	funcAllow map[*ast.FuncDecl]map[string]*allowUse
+
+	// lineAllow exempts single lines: file -> line -> rule -> record. A
 	// directive covers its own line and the line below it, so it can
 	// ride at the end of the offending line or on its own line above.
-	lineAllow map[string]map[int]map[string]bool
+	lineAllow map[string]map[int]map[string]*allowUse
+
+	// allows holds every well-formed allow record in parse order, for
+	// the stale-suppression sweep after all passes have run.
+	allows []*allowUse
 
 	// findings are malformed directives.
 	findings []Finding
@@ -52,9 +96,10 @@ type directives struct {
 // collectDirectives parses every //tdnuca: comment in the program.
 func collectDirectives(prog *Program) *directives {
 	d := &directives{
-		prog:      prog,
-		funcAllow: make(map[*ast.FuncDecl]map[string]bool),
-		lineAllow: make(map[string]map[int]map[string]bool),
+		prog:       prog,
+		shardFuncs: make(map[*ast.FuncDecl]*shardAnno),
+		funcAllow:  make(map[*ast.FuncDecl]map[string]*allowUse),
+		lineAllow:  make(map[string]map[int]map[string]*allowUse),
 	}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
@@ -90,9 +135,9 @@ func (d *directives) parseComment(pkg *Package, c *ast.Comment) {
 	file, line, col := d.prog.Position(c.Pos())
 	text = strings.TrimSpace(text)
 	switch {
-	case text == "hotpath":
-		// Validated in collectFuncDoc; a stray hotpath directive that is
-		// not a function doc comment is caught there by never matching.
+	case text == "hotpath" || text == "shardsafe":
+		// Validated in collectFuncDoc; a stray directive that is not a
+		// function doc comment is caught there by never matching.
 	case strings.HasPrefix(text, "allow("):
 		rule, reason, ok := splitAllow(text)
 		if !ok || !knownRules[rule] {
@@ -109,12 +154,14 @@ func (d *directives) parseComment(pkg *Package, c *ast.Comment) {
 			})
 			return
 		}
-		d.addLineAllow(file, line, rule)
-		d.addLineAllow(file, line+1, rule)
+		rec := &allowUse{file: file, line: line, col: col, rule: rule}
+		d.allows = append(d.allows, rec)
+		d.addLineAllow(file, line, rule, rec)
+		d.addLineAllow(file, line+1, rule, rec)
 	default:
 		d.findings = append(d.findings, Finding{
 			Pass: "directive", Rule: "syntax", File: file, Line: line, Col: col,
-			Message: "unknown directive //tdnuca:" + text + "; want hotpath or allow(<rule>) <reason>",
+			Message: "unknown directive //tdnuca:" + text + "; want hotpath, shardsafe or allow(<rule>) <reason>",
 		})
 	}
 }
@@ -133,34 +180,76 @@ func (d *directives) collectFuncDoc(pkg *Package, fd *ast.FuncDecl) {
 			}
 			continue
 		}
+		if text == "shardsafe" {
+			file, line, col := d.prog.Position(c.Pos())
+			d.shardFuncs[fd] = &shardAnno{file: file, line: line, col: col}
+			continue
+		}
 		if rule, reason, ok := splitAllow(text); ok && knownRules[rule] && reason != "" {
-			if d.funcAllow[fd] == nil {
-				d.funcAllow[fd] = make(map[string]bool)
+			file, line, _ := d.prog.Position(c.Pos())
+			rec := d.lineAllow[file][line][rule]
+			if rec == nil {
+				continue // malformed; already reported by parseComment
 			}
-			d.funcAllow[fd][rule] = true
+			if d.funcAllow[fd] == nil {
+				d.funcAllow[fd] = make(map[string]*allowUse)
+			}
+			d.funcAllow[fd][rule] = rec
 		}
 		// Malformed doc directives were already reported by parseComment.
 	}
 }
 
-func (d *directives) addLineAllow(file string, line int, rule string) {
+func (d *directives) addLineAllow(file string, line int, rule string, rec *allowUse) {
 	if d.lineAllow[file] == nil {
-		d.lineAllow[file] = make(map[int]map[string]bool)
+		d.lineAllow[file] = make(map[int]map[string]*allowUse)
 	}
 	if d.lineAllow[file][line] == nil {
-		d.lineAllow[file][line] = make(map[string]bool)
+		d.lineAllow[file][line] = make(map[string]*allowUse)
 	}
-	d.lineAllow[file][line][rule] = true
+	d.lineAllow[file][line][rule] = rec
 }
 
-// allowedAt reports whether rule is suppressed at file:line.
+// allowedAt reports whether rule is suppressed at file:line, marking the
+// directive live.
 func (d *directives) allowedAt(file string, line int, rule string) bool {
-	return d.lineAllow[file][line][rule]
+	rec := d.lineAllow[file][line][rule]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
 }
 
-// allowedFunc reports whether rule is suppressed for the whole function.
+// allowedFunc reports whether rule is suppressed for the whole function,
+// marking the directive live.
 func (d *directives) allowedFunc(fd *ast.FuncDecl, rule string) bool {
-	return fd != nil && d.funcAllow[fd][rule]
+	if fd == nil {
+		return false
+	}
+	rec := d.funcAllow[fd][rule]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
+}
+
+// staleAllows reports every allow directive that suppressed nothing
+// after all passes have run: a suppression must not outlive the code it
+// excused.
+func (d *directives) staleAllows() []Finding {
+	var out []Finding
+	for _, rec := range d.allows {
+		if rec.used {
+			continue
+		}
+		out = append(out, Finding{
+			Pass: "directive", Rule: "stale", File: rec.file, Line: rec.line, Col: rec.col,
+			Message: "allow(" + rec.rule + ") suppresses no finding; remove the stale directive",
+		})
+	}
+	return out
 }
 
 // splitAllow parses "allow(rule) reason" into its parts.

@@ -1,0 +1,593 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The shardsafe pass proves the PDES flight-path isolation invariant
+// statically (DESIGN.md §14). When Options.SimWorkers > 1, taskrt runs
+// task bodies concurrently against machine.ShardView copies; the whole
+// worker-count-invariance guarantee rests on flights touching nothing
+// but (a) their view-owned counter shards and (b) reach-partitioned
+// bank/L1 state audited per method. At runtime that is enforced by
+// SetGuard panics and the race detector; this pass enforces it at lint
+// time, over the closure of everything a flight can statically reach.
+//
+// Entry points (the code PDES executes concurrently):
+//
+//   - every method of the internal/taskrt execution context `Exec`
+//     (task bodies receive an *Exec and can call nothing else), and
+//   - every function literal submitted to the internal/sim/pdes engine
+//     via (*Engine).Go.
+//
+// The closure is computed over the repo-wide static call graph
+// (callgraph.go). Within it, the pass reports:
+//
+//	globalwrite — a write to any package-level variable. Never exempted
+//	              by //tdnuca:shardsafe; only an explicit allow can.
+//	sharedwrite — a write to a field of a named internal/machine,
+//	              internal/noc or internal/core type that is not on the
+//	              declared shard surface: machine.Machine fields in
+//	              MachineShardSurface (== machine.ShardViewFields, pinned
+//	              by test), noc.Network fields in NetworkShardSurface
+//	              (== noc.ShardCounterFields, pinned by test). Writes
+//	              through local value copies are flight-private and
+//	              exempt.
+//	sync        — mutex/atomic use, channel operations, select, or `go`
+//	              statements anywhere outside the sanctioned
+//	              internal/sim/pdes engine.
+//	escape      — a call the closure cannot follow: dynamic interface
+//	              dispatch, a function value, or a body-less module
+//	              declaration. Standard-library calls (other than
+//	              sync/atomic) are assumed inert. Function literals are
+//	              analyzed inline where they are written, and calls
+//	              through local function values are therefore exempt.
+//	stale       — a //tdnuca:shardsafe annotation that is unreachable
+//	              from the entry points or exempts nothing.
+//
+// A //tdnuca:shardsafe doc annotation marks a function an audited part
+// of the shard surface: its sharedwrite and sync findings are exempt
+// (the audit argument lives in the doc comment), but the walk still
+// descends into it, and globalwrite/escape still report — those pierce
+// any per-method audit. Line-scoped //tdnuca:allow(shardsafe) <reason>
+// suppresses any shardsafe finding on one line.
+//
+// Known limitations, by design (backed by the runtime SetGuard and the
+// race detector): slice/map provenance is not tracked, so writes
+// through local slice headers aliasing shared state are not seen, and
+// local pointers to local structs of sensitive types are conservatively
+// flagged.
+
+// machineShardSurfaceFields is the static declaration of the Machine
+// fields a flight's shard view owns privately. Must equal
+// machine.ShardViewFields(); TestShardSurfaceMatchesRuntime pins it.
+var machineShardSurfaceFields = []string{"Net", "cs", "guard", "met", "tr"}
+
+// networkShardSurfaceFields is the static declaration of the Network
+// counter fields a noc.Shard owns privately. Must equal
+// noc.ShardCounterFields(); TestShardSurfaceMatchesRuntime pins it.
+var networkShardSurfaceFields = []string{
+	"byteHops", "ctrlMsgs", "dataBytes", "dataMsgs", "flitHops", "linkBytes", "messages", "queued",
+}
+
+// MachineShardSurface returns the declared machine.Machine shard
+// surface, sorted.
+func MachineShardSurface() []string {
+	return append([]string(nil), machineShardSurfaceFields...)
+}
+
+// NetworkShardSurface returns the declared noc.Network shard surface,
+// sorted.
+func NetworkShardSurface() []string {
+	return append([]string(nil), networkShardSurfaceFields...)
+}
+
+// sensitiveRels are the module-relative package paths whose named types
+// hold runtime-owned machine state a flight must not write outside the
+// declared surface.
+var sensitiveRels = map[string]bool{
+	"internal/machine": true,
+	"internal/noc":     true,
+	"internal/core":    true,
+}
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+var (
+	machineSurfaceSet = toSet(machineShardSurfaceFields)
+	networkSurfaceSet = toSet(networkShardSurfaceFields)
+)
+
+// shardUnit is one unit of flight-reachable code: a function
+// declaration in the closure, or an entry function literal.
+type shardUnit struct {
+	pkg  *Package
+	decl *ast.FuncDecl // enclosing declaration (allow + display scope)
+	body *ast.BlockStmt
+	fn   *types.Func // nil for closure entry units
+	name string
+}
+
+func shardsafePass(prog *Program, dirs *directives) []Finding {
+	s := newShardsafe(prog, dirs)
+	return s.run()
+}
+
+type shardsafe struct {
+	prog      *Program
+	dirs      *directives
+	graph     *callGraph
+	entryLits map[*ast.FuncLit]bool
+	visited   map[*types.Func]bool
+	findings  []Finding
+}
+
+func newShardsafe(prog *Program, dirs *directives) *shardsafe {
+	return &shardsafe{
+		prog:      prog,
+		dirs:      dirs,
+		graph:     buildCallGraph(prog),
+		entryLits: make(map[*ast.FuncLit]bool),
+		visited:   make(map[*types.Func]bool),
+	}
+}
+
+func (s *shardsafe) run() []Finding {
+	queue := s.entries()
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u.fn != nil {
+			if s.visited[u.fn] {
+				continue
+			}
+			s.visited[u.fn] = true
+		}
+		var anno *shardAnno
+		if u.fn != nil {
+			if anno = s.dirs.shardFuncs[u.decl]; anno != nil {
+				anno.reached = true
+			}
+		}
+		w := &shardWalker{
+			prog: s.prog, dirs: s.dirs, pkg: u.pkg, decl: u.decl,
+			name: u.name, anno: anno, skipLits: s.entryLits, root: u.body,
+			isPdes: u.pkg.Rel == "internal/sim/pdes",
+		}
+		w.scan()
+		s.findings = append(s.findings, w.findings...)
+		// Successors come from the call graph (decl units) or a direct
+		// site scan (closure entry units) — both built on the same
+		// resolvableCallee, so the walker's escape rule and the closure
+		// agree on what is followed.
+		var edges []callEdge
+		if u.fn != nil {
+			edges = s.graph.edges[u.fn]
+		} else {
+			edges = calleesIn(s.prog, u.pkg, u.body)
+		}
+		for _, e := range edges {
+			if s.visited[e.callee] {
+				continue
+			}
+			src := s.prog.FuncDecls[e.callee]
+			if src == nil {
+				continue
+			}
+			queue = append(queue, shardUnit{
+				pkg: src.Pkg, decl: src.Decl, body: src.Decl.Body,
+				fn: e.callee, name: funcDisplayName(src.Pkg, src.Decl),
+			})
+		}
+	}
+	s.staleAnnotations()
+	return s.findings
+}
+
+// entries collects the flight entry points: taskrt Exec methods and
+// function literals submitted to the pdes engine.
+func (s *shardsafe) entries() []shardUnit {
+	var units []shardUnit
+	for _, pkg := range s.prog.Pkgs {
+		if pkg.Rel != "internal/taskrt" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || recvTypeName(fd) != "Exec" {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				units = append(units, shardUnit{
+					pkg: pkg, decl: fd, body: fd.Body, fn: fn,
+					name: funcDisplayName(pkg, fd),
+				})
+			}
+		}
+	}
+	for _, pkg := range s.prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg.Info, call)
+					if fn == nil || fn.Name() != "Go" || fn.Pkg() == nil ||
+						fn.Pkg().Path() != s.prog.Module+"/internal/sim/pdes" {
+						return true
+					}
+					for _, arg := range call.Args {
+						lit, ok := arg.(*ast.FuncLit)
+						if !ok {
+							continue
+						}
+						s.entryLits[lit] = true
+						units = append(units, shardUnit{
+							pkg: pkg, decl: fd, body: lit.Body,
+							name: funcDisplayName(pkg, fd) + " flight closure",
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return units
+}
+
+// staleAnnotations reports every //tdnuca:shardsafe annotation that is
+// not earning its keep: unreachable from the flight entry points, or
+// reachable but exempting nothing.
+func (s *shardsafe) staleAnnotations() {
+	for fd, anno := range s.dirs.shardFuncs {
+		msg := ""
+		switch {
+		case !anno.reached:
+			msg = "//tdnuca:shardsafe on a function the flight entry points cannot reach; remove the stale annotation"
+		case anno.exempted == 0:
+			msg = "//tdnuca:shardsafe exempts no finding; remove the stale annotation"
+		default:
+			continue
+		}
+		name := ""
+		if pkg := s.pkgOf(anno.file); pkg != nil {
+			name = funcDisplayName(pkg, fd)
+		}
+		s.findings = append(s.findings, Finding{
+			Pass: "shardsafe", Rule: "stale", File: anno.file, Line: anno.line, Col: anno.col,
+			Func: name, Message: msg,
+		})
+	}
+}
+
+// pkgOf finds the package containing a root-relative file path.
+func (s *shardsafe) pkgOf(file string) *Package {
+	for _, pkg := range s.prog.Pkgs {
+		for _, f := range pkg.Files {
+			if name, _, _ := s.prog.Position(f.Pos()); name == file {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the receiver's base type name, or "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// shardWalker scans one unit for isolation violations.
+type shardWalker struct {
+	prog     *Program
+	dirs     *directives
+	pkg      *Package
+	decl     *ast.FuncDecl // allow/display scope (encloses closure units)
+	root     ast.Node
+	name     string
+	anno     *shardAnno // non-nil when decl is //tdnuca:shardsafe
+	isPdes   bool
+	skipLits map[*ast.FuncLit]bool
+	findings []Finding
+}
+
+func (w *shardWalker) info() *types.Info { return w.pkg.Info }
+
+func (w *shardWalker) typeOf(e ast.Expr) types.Type { return w.pkg.Info.TypeOf(e) }
+
+func (w *shardWalker) report(pos token.Pos, rule, msg string) {
+	if rule == "sync" && w.isPdes {
+		return // the sanctioned engine: its channel discipline is the audit
+	}
+	file, line, col := w.prog.Position(pos)
+	if w.dirs.allowedAt(file, line, "shardsafe") || w.dirs.allowedFunc(w.decl, "shardsafe") {
+		return
+	}
+	if w.anno != nil && (rule == "sharedwrite" || rule == "sync") {
+		w.anno.exempted++
+		return
+	}
+	w.findings = append(w.findings, Finding{
+		Pass: "shardsafe", Rule: rule, File: file, Line: line, Col: col,
+		Func: w.name, Message: msg,
+	})
+}
+
+func (w *shardWalker) scan() {
+	ast.Inspect(w.root, w.visit)
+}
+
+func (w *shardWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// Another entry unit nested in this one is analyzed separately.
+		if w.skipLits[n] && n.Body != w.root {
+			return false
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			w.checkWrite(lhs)
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(n.X)
+	case *ast.CallExpr:
+		w.checkCall(n)
+	case *ast.GoStmt:
+		w.report(n.Pos(), "sync",
+			"goroutine spawned in flight-reachable code; only the pdes engine may create concurrency")
+	case *ast.SendStmt:
+		w.report(n.Pos(), "sync",
+			"channel send in flight-reachable code outside the sanctioned pdes engine")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			w.report(n.Pos(), "sync",
+				"channel receive in flight-reachable code outside the sanctioned pdes engine")
+		}
+	case *ast.SelectStmt:
+		w.report(n.Pos(), "sync",
+			"select in flight-reachable code outside the sanctioned pdes engine")
+	case *ast.RangeStmt:
+		if _, isChan := typeUnder(w.typeOf(n.X)).(*types.Chan); isChan {
+			w.report(n.Pos(), "sync",
+				"range over a channel in flight-reachable code outside the sanctioned pdes engine")
+		}
+	}
+	return true
+}
+
+// checkWrite classifies the target of one assignment/inc-dec/delete.
+func (w *shardWalker) checkWrite(lhs ast.Expr) {
+	// Peel the target down to its base, collecting the selector chain
+	// outermost-first: m.ver.golden[pa] -> base m, chain [.golden, .ver].
+	var sels []*ast.SelectorExpr
+	hadStar := false
+	expr := lhs
+peel:
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			hadStar = true
+			expr = e.X
+		case *ast.SelectorExpr:
+			sels = append(sels, e)
+			expr = e.X
+		default:
+			break peel
+		}
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		obj, _ := w.info().Uses[id].(*types.Var)
+		if obj == nil {
+			obj, _ = w.info().Defs[id].(*types.Var)
+		}
+		if obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				w.report(id.Pos(), "globalwrite",
+					"write to package-level variable "+id.Name+" from flight-reachable code; flights own nothing but their shard view")
+				return
+			}
+			// A non-pointerish local base means the write lands in a
+			// flight-private copy.
+			if len(sels) > 0 && !isPointerish(obj.Type()) {
+				return
+			}
+		}
+	}
+	// Scan the chain base-first: the innermost sensitive selector
+	// decides. A view-owned field sanctions everything beneath it.
+	for i := len(sels) - 1; i >= 0; i-- {
+		sel := sels[i]
+		named, ok := derefType(w.typeOf(sel.X)).(*types.Named)
+		if !ok {
+			continue
+		}
+		surface, sensitive := w.surfaceOf(named)
+		if !sensitive {
+			continue
+		}
+		if surface[sel.Sel.Name] {
+			return // view-owned: the write is flight-private
+		}
+		w.report(sel.Sel.Pos(), "sharedwrite",
+			"write to "+typeDisplayName(named)+"."+sel.Sel.Name+" is outside the declared shard surface; flights may only write view-owned state (or the method must be audited //tdnuca:shardsafe)")
+		return
+	}
+	if hadStar && len(sels) == 0 {
+		if named, ok := derefType(w.typeOf(lhs)).(*types.Named); ok {
+			if _, sensitive := w.surfaceOf(named); sensitive {
+				w.report(lhs.Pos(), "sharedwrite",
+					"write through a pointer to "+typeDisplayName(named)+" in flight-reachable code; shared "+typeDisplayName(named)+" state is outside the shard surface")
+			}
+		}
+	}
+}
+
+// checkCall classifies one call site: followed, sanctioned, sync, or an
+// escape from the closure.
+func (w *shardWalker) checkCall(call *ast.CallExpr) {
+	info := w.info()
+	if resolvableCallee(w.prog, info, call) != nil {
+		return // followed by the closure via the call graph
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "close":
+				w.report(call.Pos(), "sync",
+					"channel close in flight-reachable code outside the sanctioned pdes engine")
+			case "make":
+				if _, isChan := typeUnder(info.TypeOf(call)).(*types.Chan); isChan {
+					w.report(call.Pos(), "sync",
+						"channel creation in flight-reachable code outside the sanctioned pdes engine")
+				}
+			case "delete":
+				if len(call.Args) > 0 {
+					w.checkWrite(call.Args[0])
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return // universe scope
+		}
+		p := pkg.Path()
+		if p == "sync" || strings.HasPrefix(p, "sync/") {
+			w.report(call.Pos(), "sync",
+				fn.FullName()+" in flight-reachable code; flights must not synchronize outside the pdes engine")
+			return
+		}
+		if !isModulePath(w.prog.Module, p) {
+			return // standard library: assumed inert for shard isolation
+		}
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil &&
+			types.IsInterface(sig.Recv().Type().Underlying()) {
+			w.report(call.Pos(), "escape",
+				"dynamic dispatch through "+types.TypeString(sig.Recv().Type(), types.RelativeTo(w.pkg.Types))+
+					" escapes the shardsafe closure; audit the implementations and allow(shardsafe) the site")
+			return
+		}
+		w.report(call.Pos(), "escape",
+			fn.FullName()+" has no analyzable body; the shardsafe closure cannot follow it")
+		return
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return // analyzed inline as part of this unit
+	case *ast.Ident:
+		if v, ok := info.Uses[fun].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				w.report(call.Pos(), "escape",
+					"call through package-level function value "+fun.Name+" escapes the shardsafe closure")
+			}
+			// Local function values were analyzed where their literals
+			// were written.
+			return
+		}
+		w.report(call.Pos(), "escape",
+			"unresolvable call to "+fun.Name+" escapes the shardsafe closure")
+	default:
+		w.report(call.Pos(), "escape",
+			"call through a function value escapes the shardsafe closure; flights may only make statically resolvable calls")
+	}
+}
+
+// surfaceOf returns the declared writable-field surface for a named
+// type, and whether the type is sensitive (runtime-owned machine state)
+// at all.
+func (w *shardWalker) surfaceOf(named *types.Named) (map[string]bool, bool) {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	rel := strings.TrimPrefix(obj.Pkg().Path(), w.prog.Module+"/")
+	if !sensitiveRels[rel] {
+		return nil, false
+	}
+	switch {
+	case rel == "internal/machine" && obj.Name() == "Machine":
+		return machineSurfaceSet, true
+	case rel == "internal/noc" && obj.Name() == "Network":
+		return networkSurfaceSet, true
+	}
+	return nil, true
+}
+
+func typeDisplayName(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// isPointerish reports whether writes through a value of this type can
+// reach shared state: pointers, slices and maps alias; plain values
+// copy.
+func isPointerish(t types.Type) bool {
+	switch typeUnder(t).(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"tdnuca/internal/machine"
+	"tdnuca/internal/noc"
+)
+
+// graphEdgeStrings renders a call graph as a sorted "caller -> callee"
+// list, one entry per edge, for property checks and cross-build
+// comparison.
+func graphEdgeStrings(g *callGraph) []string {
+	var out []string
+	for caller, edges := range g.edges {
+		for _, e := range edges {
+			out = append(out, caller.FullName()+" -> "+e.callee.FullName())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCallGraphEdgesResolve is the call-graph soundness property: every
+// edge's callee is a real, module-declared *types.Func with a parsed
+// body, and re-resolving the recorded call site yields the same callee.
+// Two independent builds over the same Program must agree edge for edge.
+func TestCallGraphEdgesResolve(t *testing.T) {
+	prog, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildCallGraph(prog)
+	if len(g.edges) == 0 {
+		t.Fatal("call graph is empty; the loader found no function declarations")
+	}
+	edges := 0
+	for caller, list := range g.edges {
+		if caller == nil {
+			t.Fatal("call graph has a nil caller key")
+		}
+		for _, e := range list {
+			edges++
+			if e.callee == nil {
+				t.Fatalf("%s: edge with nil callee", caller.FullName())
+			}
+			if e.callee.Pkg() == nil || !isModulePath(prog.Module, e.callee.Pkg().Path()) {
+				t.Errorf("%s -> %s: callee outside module %s", caller.FullName(), e.callee.FullName(), prog.Module)
+			}
+			if prog.FuncDecls[e.callee] == nil {
+				t.Errorf("%s -> %s: callee has no FuncDecls entry (no parsed body)", caller.FullName(), e.callee.FullName())
+			}
+			if e.site == nil || e.pkg == nil {
+				t.Fatalf("%s -> %s: edge missing site or package", caller.FullName(), e.callee.FullName())
+			}
+			if got := resolvableCallee(prog, e.pkg.Info, e.site); got != e.callee {
+				t.Errorf("%s: re-resolving the call site yields %v, edge says %s", caller.FullName(), got, e.callee.FullName())
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("call graph has callers but zero edges")
+	}
+	if a, b := graphEdgeStrings(g), graphEdgeStrings(buildCallGraph(prog)); !reflect.DeepEqual(a, b) {
+		t.Errorf("two call-graph builds disagree: %d vs %d edges", len(a), len(b))
+	}
+}
+
+// TestShardsafeClosureSelfTest runs the shardsafe pass against the repo
+// itself: HEAD must be clean, and the computed closure must be
+// non-trivial — in particular it must reach the machine access path,
+// which is where almost every audited annotation lives. An empty or
+// truncated closure would make a clean report vacuous.
+func TestShardsafeClosureSelfTest(t *testing.T) {
+	prog, err := Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newShardsafe(prog, collectDirectives(prog))
+	findings := s.run()
+	for _, f := range findings {
+		t.Errorf("unexpected finding on HEAD: %s", f)
+	}
+	if len(s.entryLits) == 0 {
+		t.Error("no flight closures found; expected at least the taskrt waitParallel literal submitted to pdes.Go")
+	}
+	var names []string
+	for fn := range s.visited {
+		names = append(names, fn.FullName())
+	}
+	sort.Strings(names)
+	for _, want := range []string{
+		"internal/machine.Machine).AccessAt",
+		"internal/machine.dirTable).ref",
+		"internal/noc.Network).SendDataAt",
+	} {
+		found := false
+		for _, n := range names {
+			if strings.Contains(n, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("flight closure does not reach %q; visited %d functions:\n%s", want, len(names), strings.Join(names, "\n"))
+		}
+	}
+}
+
+// TestShardSurfaceMatchesRuntime pins the pass's static shard-surface
+// declaration to the runtime's: machine.ShardViewFields and
+// noc.ShardCounterFields are what ShardView/Shard actually privatize, so
+// any drift between what the analyzer exempts and what the runtime
+// isolates fails here.
+func TestShardSurfaceMatchesRuntime(t *testing.T) {
+	check := func(name string, static, runtime []string) {
+		s := append([]string(nil), static...)
+		r := append([]string(nil), runtime...)
+		sort.Strings(s)
+		sort.Strings(r)
+		if !reflect.DeepEqual(s, r) {
+			t.Errorf("%s: static surface %v != runtime surface %v", name, s, r)
+		}
+	}
+	check("machine.Machine", MachineShardSurface(), machine.ShardViewFields())
+	check("noc.Network", NetworkShardSurface(), noc.ShardCounterFields())
+}
+
+// TestSurfaceAccessorsCopy guards the exported accessors against
+// callers mutating the pass's internal declarations through the
+// returned slice.
+func TestSurfaceAccessorsCopy(t *testing.T) {
+	for _, get := range []func() []string{MachineShardSurface, NetworkShardSurface} {
+		a := get()
+		orig := fmt.Sprintf("%v", a)
+		a[0] = "corrupted"
+		if got := fmt.Sprintf("%v", get()); got != orig {
+			t.Fatalf("surface accessor returns an aliased slice: %s became %s", orig, got)
+		}
+	}
+}

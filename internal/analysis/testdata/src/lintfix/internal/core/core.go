@@ -1,0 +1,14 @@
+// Package core mirrors the real core package: every named type here is
+// sensitive with an empty shard surface, so any field write from
+// flight-reachable code is a sharedwrite.
+package core
+
+// RRT is a fixture stand-in for the per-core runtime request table.
+type RRT struct {
+	entries int
+}
+
+// Bump mutates shared core state.
+func (r *RRT) Bump() {
+	r.entries++ // want shardsafe/sharedwrite
+}

@@ -1,0 +1,126 @@
+package machine
+
+// Shardsafe specimens: one of every violation and every annotation shape
+// the flight-path isolation pass must handle. Step is reached from the
+// taskrt Exec entry point, so everything below is inside the analyzed
+// closure unless noted.
+
+import (
+	"sync"
+
+	"lintfix/internal/core"
+	"lintfix/internal/noc"
+)
+
+// accesses is the package-level state no flight may write.
+var accesses int
+
+// Hook is a package-level function value; calling it from flight code
+// escapes the closure.
+var Hook func()
+
+// Stats sits on the shard surface via Machine.met.
+type Stats struct {
+	Hits int
+}
+
+// Directory is off-surface shared state.
+type Directory struct {
+	owner int
+}
+
+// Policy is dispatched dynamically from the flight path.
+type Policy interface {
+	Place() int
+}
+
+// Machine mirrors the real machine: met is on the declared shard
+// surface (see analysis.MachineShardSurface); dir, rrt, net, mu and pol
+// are shared.
+type Machine struct {
+	met Stats
+	dir Directory
+	rrt core.RRT
+	net noc.Network
+	mu  sync.Mutex
+	pol Policy
+}
+
+// Step is the fixture access path, reached from Exec.Read.
+func (m *Machine) Step() {
+	accesses++ // want shardsafe/globalwrite
+	m.met.Hits++
+	m.dir.owner = 1 // want shardsafe/sharedwrite
+	m.net.Count()
+	m.rrt.Bump()
+	m.refresh()
+	m.audited()
+	m.pristine()
+	m.indirect()
+	m.place()
+	m.placeAllowed()
+	m.spawn()
+}
+
+// refresh holds one specimen of every sync shape outside the engine.
+func (m *Machine) refresh() {
+	m.mu.Lock()          // want shardsafe/sync
+	m.mu.Unlock()        // want shardsafe/sync
+	ch := make(chan int) // want shardsafe/sync
+	ch <- 1              // want shardsafe/sync
+	<-ch                 // want shardsafe/sync
+}
+
+// spawn starts a goroutine from flight-reachable code: both the
+// determinism pass and the shardsafe pass object.
+func (m *Machine) spawn() {
+	go m.refresh() // want determinism/goroutine shardsafe/sync
+}
+
+// audited writes off-surface state under a shardsafe audit: the
+// annotation exempts the sharedwrite, so no finding and no staleness.
+//
+//tdnuca:shardsafe
+func (m *Machine) audited() {
+	m.dir.owner = 2
+}
+
+// pristine is reached but violates nothing, so its annotation exempts
+// nothing and is itself stale.
+//
+//tdnuca:shardsafe
+func (m *Machine) pristine() {} // want-above shardsafe/stale
+
+// Orphan carries the annotation on a function no flight entry point can
+// reach: stale for the other reason.
+//
+//tdnuca:shardsafe
+func Orphan() {} // want-above shardsafe/stale
+
+// indirect calls through a package-level function value.
+func (m *Machine) indirect() {
+	Hook() // want shardsafe/escape
+}
+
+// place dispatches through an interface the closure cannot follow.
+func (m *Machine) place() {
+	_ = m.pol.Place() // want shardsafe/escape
+}
+
+// placeAllowed is the same dispatch with a line-scoped suppression.
+func (m *Machine) placeAllowed() {
+	//tdnuca:allow(shardsafe) fixture: the only Policy in this module is audited
+	_ = m.pol.Place()
+}
+
+// StaleLine carries a line-scoped allow that suppresses nothing.
+func StaleLine() {
+	//tdnuca:allow(shardsafe) fixture: nothing on the next line violates anything
+	// want-above directive/stale
+	_ = accesses
+}
+
+// StaleFunc carries a function-scoped allow that suppresses nothing.
+//
+//tdnuca:allow(shardsafe) fixture: audited for no reason at all
+func StaleFunc() {} // want-above directive/stale

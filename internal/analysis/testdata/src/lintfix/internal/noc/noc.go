@@ -1,0 +1,17 @@
+// Package noc mirrors the real network package for the shardsafe pass:
+// Network carries one counter on the declared shard surface and one off
+// it, so writes to each classify differently.
+package noc
+
+// Network is the fixture network. messages is on the real shard surface
+// (see analysis.NetworkShardSurface); inflight is not.
+type Network struct {
+	messages uint64
+	inflight uint64
+}
+
+// Count bumps one surface counter and one shared field.
+func (n *Network) Count() {
+	n.messages++
+	n.inflight++ // want shardsafe/sharedwrite
+}

@@ -1,0 +1,31 @@
+// Package pdes is the fixture's parallel-engine stand-in. Go runs the
+// submitted closure inline — no goroutine ever starts here — so the real
+// goroutine-allowlist entry for internal/sim/pdes matches nothing in this
+// module and must be reported stale. Note's channel traffic exercises the
+// shardsafe pass's sanctioned-engine exemption: no sync finding expected.
+package pdes // want determinism/staleallow
+
+// Engine is a minimal inline "engine" with a notification channel.
+type Engine struct {
+	ch  chan int
+	seq uint64
+}
+
+// New builds an engine with a buffered notification channel.
+func New() *Engine {
+	return &Engine{ch: make(chan int, 1)}
+}
+
+// Go runs f synchronously and returns its sequence number.
+func (e *Engine) Go(f func()) uint64 {
+	e.seq++
+	f()
+	return e.seq
+}
+
+// Note bounces a token through the engine's channel: synchronization
+// inside the sanctioned pdes package, exempt from shardsafe/sync.
+func (e *Engine) Note() {
+	e.ch <- 1
+	<-e.ch
+}

@@ -1,0 +1,35 @@
+// Package taskrt mirrors the real runtime's flight path: Exec methods
+// and the closure submitted to pdes.Go are the shardsafe entry points.
+package taskrt
+
+import (
+	"lintfix/internal/machine"
+	"lintfix/internal/sim/pdes"
+)
+
+// launched is package-level on purpose: the flight closure writes it.
+var launched int
+
+// Exec is the fixture execution context handed to task bodies.
+type Exec struct {
+	m     *machine.Machine
+	eng   *pdes.Engine
+	clock int
+}
+
+// Read is an Exec entry point: its callees join the analyzed closure.
+// The clock bump is flight-private (taskrt types are not sensitive).
+func (e *Exec) Read() {
+	e.clock++
+	e.eng.Note()
+	e.m.Step()
+}
+
+// Fly submits a flight closure to the engine; the literal is an entry
+// point of its own.
+func Fly(eng *pdes.Engine, e *Exec) uint64 {
+	return eng.Go(func() {
+		launched++ // want shardsafe/globalwrite
+		e.Read()
+	})
+}

@@ -70,6 +70,7 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 			m.l1SetState(core, pa, cache.Modified)
 			m.goldenWrite(core, pa)
 			if m.writeObs != nil {
+				//tdnuca:allow(shardsafe) parallelOK admits flights only under NopHooks, so writeObs is nil whenever this runs on a shard view
 				w := m.writeObs.ObserveWrite(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
 				lat += w
 				m.cs.Manager += w
@@ -94,6 +95,7 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 	p := m.policyLookup()
 	lat += p
 	m.cs.RRT += p
+	//tdnuca:allow(shardsafe) parallelOK admits only policies whose ConcurrencySafe() is true: pure placement math with no mutable policy state
 	pl, extra := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: write})
 	lat += extra
 	m.cs.Manager += extra
@@ -122,6 +124,8 @@ func (m *Machine) AccessAt(core int, va amath.Addr, write bool, now sim.Cycles) 
 }
 
 // policyLookup charges the RRT lookup penalty and accounts its energy.
+//
+//tdnuca:allow(shardsafe) parallelOK admits only ConcurrencySafe policies; UsesRRT and LookupPenalty are pure accessors on them
 func (m *Machine) policyLookup() sim.Cycles {
 	if m.policy.UsesRRT() {
 		m.met.RRTLookups++
@@ -150,6 +154,15 @@ func (m *Machine) bypassFill(core int, pa amath.Addr, now sim.Cycles) sim.Cycles
 
 // bankFill services an L1 miss at an LLC bank, handling the directory
 // actions for MESI, and returns the latency and the L1 fill state.
+//
+// Audited for concurrent flights: the directory writes below touch only
+// the entry for this access's block, and the reach discipline guarantees
+// concurrent flights touch disjoint blocks — so per-bank directory state
+// never races between flights, and the fold replays nothing (directory
+// contents live on the shared Machine, mutated identically regardless of
+// which view ran the access).
+//
+//tdnuca:shardsafe
 func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now sim.Cycles) (sim.Cycles, cache.State) {
 	hops, reqLat := m.Net.SendCtrlAt(core, bank, now)
 	m.chargeNoC(hops, reqLat)
@@ -223,6 +236,12 @@ func (m *Machine) bankFill(core int, pa amath.Addr, bank int, write bool, now si
 
 // upgrade handles a write hit on a Shared L1 line: the core asks the home
 // bank to invalidate all other copies and grant ownership.
+//
+// Audited for concurrent flights: directory-entry writes are confined to
+// this access's block, which the reach discipline keeps disjoint across
+// flights (see bankFill).
+//
+//tdnuca:shardsafe
 func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycles {
 	m.met.Upgrades++
 	if m.tr != nil {
@@ -230,6 +249,7 @@ func (m *Machine) upgrade(core int, va, pa amath.Addr, now sim.Cycles) sim.Cycle
 	}
 	lat := m.policyLookup()
 	m.cs.RRT += lat
+	//tdnuca:allow(shardsafe) parallelOK admits only policies whose ConcurrencySafe() is true: pure placement math with no mutable policy state
 	pl, extra := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], VA: va, PA: pa, Write: true})
 	lat += extra
 	m.cs.Manager += extra
@@ -309,12 +329,19 @@ func (m *Machine) insertL1(core int, pa amath.Addr, st cache.State, now sim.Cycl
 // writebackFromL1 sends a dirty L1 victim to its home (bank or DRAM).
 // Writebacks are off the demand critical path, but their traffic still
 // occupies links under the contention model.
+//
+// Audited for concurrent flights: the owner-clear below touches only the
+// victim block's directory entry, and victims stay inside the flight's
+// granted reach, so entries never race across flights (see bankFill).
+//
+//tdnuca:shardsafe
 func (m *Machine) writebackFromL1(core int, pa amath.Addr, now sim.Cycles) {
 	m.met.L1Writebacks++
 	if m.tr != nil {
 		m.tr.Emit(trace.EvL1Writeback, now, core, uint64(pa), 0)
 	}
 	m.policyLookup() // RRT consulted on writebacks; latency is off the critical path
+	//tdnuca:allow(shardsafe) parallelOK admits only policies whose ConcurrencySafe() is true: pure placement math with no mutable policy state
 	pl, _ := m.policy.Place(AccessContext{Core: core, Proc: m.coreProc[core], PA: pa, Write: true, Writeback: true})
 	if pl.Kind == Bypass {
 		mc := m.nearestMC[core]

@@ -77,6 +77,12 @@ func (m *Machine) invalidateCopies(bank int, pa amath.Addr, e *dirEntry, except 
 // is written back (the bank's data becomes current) and the owner
 // downgrades to Shared. A clean or silently-evicted copy just
 // acknowledges. The directory entry is downgraded to the sharer form.
+//
+// Audited for concurrent flights: the entry writes are confined to this
+// access's block (reach-disjoint across flights, see bankFill), and the
+// cross-L1 probe of the stale owner is serialized by lockL1.
+//
+//tdnuca:shardsafe
 func (m *Machine) fetchFromOwner(bank int, pa amath.Addr, e *dirEntry, now sim.Cycles) sim.Cycles {
 	owner := e.owner
 	fwdHops, fwdLat := m.Net.SendCtrlAt(bank, owner, now)

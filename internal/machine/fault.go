@@ -106,7 +106,6 @@ func (m *Machine) drainBank(bank int) sim.Cycles {
 		addr  amath.Addr
 		dirty bool
 	}
-	//tdnuca:allow(alloc) fault path: reached only when a scenario retires a bank, never on a healthy run
 	var victims []victim
 	b.Cache.EachResident(func(block amath.Addr, st cache.State) {
 		victims = append(victims, victim{addr: block, dirty: st == cache.Modified})

@@ -62,12 +62,22 @@ func (m *Machine) EnterParallel() {
 // lockL1 serializes cross-L1 coherence actions against a core's private
 // cache while the parallel engine is active. Nil-check only on
 // sequential machines.
+//
+// Audited for concurrent flights: this pair is the one sanctioned lock in
+// flight-reachable code — per-core, leaf-level (no other lock is taken
+// while held), and ordered identically by every flight, so it cannot
+// deadlock or perturb determinism (timing never depends on who wins).
+//
+//tdnuca:shardsafe
 func (m *Machine) lockL1(core int) {
 	if m.par != nil {
 		m.par.l1mu[core].Lock()
 	}
 }
 
+// Audited for concurrent flights: see lockL1.
+//
+//tdnuca:shardsafe
 func (m *Machine) unlockL1(core int) {
 	if m.par != nil {
 		m.par.l1mu[core].Unlock()
@@ -116,10 +126,22 @@ func (m *Machine) ShardView() *Machine {
 	return &v
 }
 
+// ShardViewFields names the Machine fields a ShardView owns privately —
+// everything ShardView replaces plus the guard SetGuard arms. This is
+// the runtime's declaration of the shard surface; the shardsafe static
+// pass carries its own copy (analysis.MachineShardSurface), and a test
+// pins the two to be identical, so widening the view here without
+// teaching the analyzer (or vice versa) fails the build.
+func ShardViewFields() []string {
+	return []string{"Net", "cs", "guard", "met", "tr"}
+}
+
 // AbsorbShard folds a view's counters into the machine and zeroes the
 // view for reuse. Folding views in the canonical dispatch order
 // reproduces the sequential counter totals exactly (all folds are
 // sums).
+//
+//tdnuca:hotpath
 func (m *Machine) AbsorbShard(v *Machine) {
 	m.met.Add(v.met)
 	m.cs.Add(v.cs)

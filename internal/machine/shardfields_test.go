@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardViewFieldClassification forces every Machine field into an
+// explicit shard-surface decision. ShardViewFields names the fields a
+// view owns privately; everything else must appear in the shared list
+// below, with the sharing argument implied by parallel.go. Adding a
+// Machine field without classifying it — and without teaching ShardView
+// and the shardsafe analyzer about it — fails here.
+func TestShardViewFieldClassification(t *testing.T) {
+	viewOwned := map[string]bool{}
+	for _, f := range ShardViewFields() {
+		viewOwned[f] = true
+	}
+	// Shared across all views: either immutable during flights, or
+	// reach-partitioned state audited per method (//tdnuca:shardsafe).
+	shared := map[string]bool{
+		"Cfg":        true, // immutable configuration
+		"AS":         true, // page tables: guard forbids mid-flight faults
+		"TLBs":       true, // per-core, and flights keep their core
+		"L1s":        true, // per-core; cross-L1 probes serialize via par.l1mu
+		"Banks":      true, // reach-partitioned (audited directory methods)
+		"alloc":      true, // only mutated by page faults, forbidden mid-flight
+		"procs":      true, // process table: stable while flights run
+		"coreProc":   true, // core bindings: stable while flights run
+		"trans":      true, // per-core translation memo
+		"nearestMC":  true, // precomputed topology
+		"bankMap":    true, // fault remap: stable while flights run
+		"retired":    true, // fault mask: stable while flights run
+		"policy":     true, // parallelOK requires ConcurrencySafe (stateless)
+		"writeObs":   true, // parallelOK requires nil
+		"ver":        true, // verifier: internally locked, reach-partitioned
+		"watchBlock": true, // parallelOK requires watch off
+		"watchW":     true, // parallelOK requires watch off
+		"par":        true, // the cross-view lock table itself
+	}
+	typ := reflect.TypeOf((*Machine)(nil)).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch {
+		case viewOwned[name] && shared[name]:
+			t.Errorf("Machine.%s is both view-owned and shared; fix the classification", name)
+		case !viewOwned[name] && !shared[name]:
+			t.Errorf("Machine.%s is unclassified: add it to ShardViewFields (and ShardView/the analyzer) or to the shared list in this test", name)
+		}
+		delete(viewOwned, name)
+		delete(shared, name)
+	}
+	for name := range viewOwned {
+		t.Errorf("ShardViewFields names %q, which is not a Machine field", name)
+	}
+	for name := range shared {
+		t.Errorf("shared list names %q, which is not a Machine field", name)
+	}
+}

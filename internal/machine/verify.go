@@ -27,8 +27,8 @@ func (m *Machine) SetWatchBlock(pa amath.Addr, w io.Writer) {
 }
 
 // watch prints one coherence-trace event when the block is watched.
-//
-//tdnuca:allow(alloc) trace-only: reached only when a watch block is armed; never on a measured run
+// (The hot-path walk stops at the verify* callers, so no allow(alloc)
+// is needed here; the stale-suppression lint enforces that.)
 func (m *Machine) watch(pa amath.Addr, format string, args ...any) {
 	if m.watchBlock != 0 && pa == m.watchBlock {
 		fmt.Fprintf(m.watchW, "watch %#x: %s\n", uint64(pa), fmt.Sprintf(format, args...))
@@ -78,7 +78,12 @@ const maxViolations = 20
 // badly broken policy producing a violation per access cannot balloon
 // a long run's memory; Violations() reports the overflow count.
 //
-//tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+// Audited for concurrent flights: every caller holds v.mu, so the
+// append and the overflow counter are serialized; per-block contents
+// stay deterministic under the reach discipline. (The hot-path walk
+// stops at the verify* callers, so no allow(alloc) is needed here.)
+//
+//tdnuca:shardsafe
 func (v *verifier) report(format string, args ...any) {
 	if len(v.violations) < maxViolations {
 		v.violations = append(v.violations, fmt.Sprintf(format, args...))
@@ -109,7 +114,12 @@ func (m *Machine) Violations() []string {
 // goldenWrite records a core's store: the block's golden version advances
 // and the core's L1 copy becomes the only current one. The L1 line must
 // be Modified at this point.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) goldenWrite(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -125,7 +135,12 @@ func (m *Machine) goldenWrite(core int, pa amath.Addr) {
 }
 
 // verifyL1Read checks a read served by the core's own L1.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyL1Read(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -139,7 +154,12 @@ func (m *Machine) verifyL1Read(core int, pa amath.Addr) {
 
 // verifyServeFromBank checks a demand request served by a bank and
 // propagates the bank's version into the requesting core's L1.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyServeFromBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -156,7 +176,12 @@ func (m *Machine) verifyServeFromBank(core, bank int, pa amath.Addr) {
 }
 
 // verifyFillFromMemory checks a bypass fill served straight from DRAM.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyFillFromMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -175,7 +200,12 @@ func (m *Machine) verifyFillFromMemory(core int, pa amath.Addr) {
 // verifyBankFillFromMemory propagates memory's version into a bank on an
 // LLC miss fill. Staleness is not checked here — it is caught when the
 // copy is served.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyBankFillFromMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -187,7 +217,12 @@ func (m *Machine) verifyBankFillFromMemory(bank int, pa amath.Addr) {
 }
 
 // verifyOwnerWriteback propagates a dirty owner's version into the bank.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyOwnerWriteback(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -199,7 +234,12 @@ func (m *Machine) verifyOwnerWriteback(core, bank int, pa amath.Addr) {
 }
 
 // verifyWritebackToBank propagates an L1 victim's version into the bank.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyWritebackToBank(core, bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -211,7 +251,12 @@ func (m *Machine) verifyWritebackToBank(core, bank int, pa amath.Addr) {
 }
 
 // verifyWritebackToMemory propagates a bypassed victim's version to DRAM.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyWritebackToMemory(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -224,7 +269,12 @@ func (m *Machine) verifyWritebackToMemory(core int, pa amath.Addr) {
 
 // verifyBankWritebackToMemory propagates a dirty LLC victim's version to
 // DRAM.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyBankWritebackToMemory(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -240,7 +290,12 @@ func (m *Machine) verifyBankWritebackToMemory(bank int, pa amath.Addr) {
 func (m *Machine) verifyL1Fill(core int, pa amath.Addr) {}
 
 // verifyL1Drop forgets a core's copy after invalidation or eviction.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyL1Drop(core int, pa amath.Addr) {
 	if m.ver == nil {
 		return
@@ -252,7 +307,12 @@ func (m *Machine) verifyL1Drop(core int, pa amath.Addr) {
 }
 
 // verifyBankDrop forgets a bank's copy after eviction or flush.
+// Audited for concurrent flights: v.mu serializes the version maps, and
+// the reach discipline keeps per-block versions deterministic (see the
+// verifier struct doc).
+//
 //tdnuca:allow(alloc) checker-only: reached only with CheckInvariants on; the zero-allocation property is defined with the checker off
+//tdnuca:shardsafe
 func (m *Machine) verifyBankDrop(bank int, pa amath.Addr) {
 	if m.ver == nil {
 		return

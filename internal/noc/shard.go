@@ -50,6 +50,15 @@ func (n *Network) Absorb(s *Network) {
 	}
 }
 
+// ShardCounterFields names the Network fields a Shard owns privately —
+// the commutative event counters Absorb folds back. Like
+// machine.ShardViewFields, this is the runtime's half of the shard
+// surface the shardsafe pass checks statically; a test pins the two
+// declarations together.
+func ShardCounterFields() []string {
+	return []string{"byteHops", "ctrlMsgs", "dataBytes", "dataMsgs", "flitHops", "linkBytes", "messages", "queued"}
+}
+
 func (n *Network) resetCounters() {
 	n.messages = 0
 	n.byteHops = 0

@@ -1,0 +1,49 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardCounterFieldClassification forces every Network field into an
+// explicit shard decision: ShardCounterFields names the commutative
+// counters a Shard owns privately (and Absorb folds back); everything
+// else must appear in the shared list below. A new Network field that is
+// neither — say a new counter Absorb forgets to fold — fails here.
+func TestShardCounterFieldClassification(t *testing.T) {
+	counters := map[string]bool{}
+	for _, f := range ShardCounterFields() {
+		counters[f] = true
+	}
+	// Shared by every shard: immutable topology/configuration, the
+	// order-sensitive contention state Shard refuses to split, and the
+	// tracer (views run untraced; Shard sets it nil).
+	shared := map[string]bool{
+		"cfg":        true,
+		"contention": true,
+		"bwBytes":    true,
+		"links":      true,
+		"faulty":     true,
+		"dead":       true,
+		"next":       true,
+		"tr":         true,
+	}
+	typ := reflect.TypeOf((*Network)(nil)).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch {
+		case counters[name] && shared[name]:
+			t.Errorf("Network.%s is both a shard counter and shared; fix the classification", name)
+		case !counters[name] && !shared[name]:
+			t.Errorf("Network.%s is unclassified: add it to ShardCounterFields (and Shard/Absorb/the analyzer) or to the shared list in this test", name)
+		}
+		delete(counters, name)
+		delete(shared, name)
+	}
+	for name := range counters {
+		t.Errorf("ShardCounterFields names %q, which is not a Network field", name)
+	}
+	for name := range shared {
+		t.Errorf("shared list names %q, which is not a Network field", name)
+	}
+}

@@ -33,7 +33,13 @@
 //
 // This package is on the determinism lint's goroutine allowlist (with
 // internal/harness/parallel.go): the one other audited place simulation
-// code may spawn goroutines.
+// code may spawn goroutines. It is likewise the one package where the
+// shardsafe flight-isolation pass sanctions synchronization primitives
+// (DESIGN.md §14) — channel discipline here *is* the determinism
+// argument above; everywhere else in the flight-reachable closure,
+// locks and channels are findings. Function literals submitted to Go
+// are that pass's entry points: everything they can statically reach
+// is checked against the shard-isolation rules.
 package pdes
 
 // job is one submitted work unit.

@@ -184,6 +184,7 @@ func (rt *Runtime) waitParallel(workers int) error {
 		fl.seq = eng.Go(func() {
 			defer func() { fl.panicked = recover() }()
 			e := &Exec{m: fl.view, core: fl.core, clock: fl.start, perBlock: perBlock}
+			//tdnuca:allow(shardsafe) the task body is the workload under test; it only sees the Exec API, whose methods are all inside the analyzed closure
 			fl.t.Body(e)
 			fl.end = e.clock
 			fl.compute = e.compute
