@@ -26,6 +26,12 @@
 #                    identically, the golden suite must reproduce at
 #                    SimWorkers=8, and one CLI suite runs at
 #                    -sim-workers 8
+#   make serve-smoke the experiment service end to end: the in-process
+#                    load-test battery submits a suite twice from
+#                    concurrent clients and asserts the second pass is
+#                    all cache hits with payload digests byte-identical
+#                    to direct harness runs, plus the raced drain /
+#                    cache / SIGTERM package tests (DESIGN.md §15)
 #   make fuzz-smoke  short fuzz of the workload-generator name parser
 #                    and validator (seed corpus always runs under test)
 #   make golden      refresh the golden suite digests (healthy, degraded
@@ -33,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-timing bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke fuzz-smoke golden ci
+.PHONY: build test race vet lint lint-timing bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke fuzz-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -49,7 +55,7 @@ test:
 # (fault-injected) parallel suite and the SimWorkers equivalence table,
 # so mid-run reconfiguration and in-run flights are raced too.
 race:
-	$(GO) test -race -timeout 3600s ./internal/harness ./internal/machine ./internal/taskrt ./internal/sim/pdes
+	$(GO) test -race -timeout 3600s ./internal/harness ./internal/machine ./internal/taskrt ./internal/sim/pdes ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -112,6 +118,16 @@ pdes-smoke:
 	$(GO) test ./internal/taskrt -run 'TestParallel'
 	$(GO) run ./cmd/tdnuca-experiments -sim-workers 8 -digest -factor 0.0078125 > /dev/null
 
+# The experiment-service layer (DESIGN.md §15): raced package tests for
+# the cache / drain / SIGTERM paths, then the selftest battery — the
+# full Table II suite submitted twice by 4 concurrent clients each,
+# asserting coalescing (one simulation per unique job), a 100% cache-hit
+# second pass with byte-identical payloads, digests equal to direct
+# harness.RunMany runs, and a leak-free drain.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve -run 'TestCacheHit|TestDrain|TestSIGTERM|TestConcurrentDuplicate'
+	$(GO) run ./cmd/tdnuca-serve -selftest
+
 # Short fuzz of the generator's name parser/validator; the checked-in
 # seed corpus also runs on every plain `go test`.
 fuzz-smoke:
@@ -123,4 +139,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./internal/harness -run 'Golden|TestGeneratedGoldenDigests' -update
 
-ci: build lint lint-timing test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke
+ci: build lint lint-timing test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke

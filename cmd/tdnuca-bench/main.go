@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -41,6 +42,10 @@ type Result struct {
 
 // Report is the BENCH_simcore.json schema (documented in
 // EXPERIMENTS.md; bump the Schema string on incompatible changes).
+// Derived keys are only present when they are meaningful on the
+// measuring host — in particular the parallel-speedup keys are omitted
+// on single-CPU hosts, with a note explaining why (a float64 map cannot
+// hold null, so absence + notes is the schema's "not applicable").
 type Report struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -51,6 +56,7 @@ type Report struct {
 	Benchmarks map[string]Result  `json:"benchmarks"`
 	Baseline   map[string]Result  `json:"baseline"`
 	Derived    map[string]float64 `json:"derived"`
+	Notes      []string           `json:"notes,omitempty"`
 }
 
 func main() {
@@ -62,7 +68,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := parse(os.Stdin)
+	results, err := parse(os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdnuca-bench:", err)
 		os.Exit(1)
@@ -72,13 +78,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep := buildReport(results, runtime.NumCPU(), *simWorkers)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tdnuca-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tdnuca-bench: wrote %d results to %s\n", len(results), *out)
+}
+
+// buildReport derives the headline numbers from the parsed results.
+// numCPU is a parameter (not read from runtime here) so tests can pin
+// both the single-CPU and multi-CPU paths.
+func buildReport(results map[string]Result, numCPU, simWorkers int) Report {
 	rep := Report{
 		Schema:     "tdnuca-bench/v1",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		SimWorkers: *simWorkers,
+		NumCPU:     numCPU,
+		SimWorkers: simWorkers,
 		Benchmarks: results,
 		Baseline:   baseline,
 		Derived:    map[string]float64{},
@@ -98,9 +127,24 @@ func main() {
 		}
 	}
 	// Run-level parallel speedup: the single-goroutine suite over the
-	// four-worker run pool (digest-identical by the harness equivalence
-	// tests). Bounded above by the host's schedulable CPUs — num_cpu in
-	// this report says what was physically possible.
+	// multi-worker run pool (digest-identical by the harness equivalence
+	// tests). On a single-CPU host the pool cannot physically run
+	// anything in parallel — the ratio would just measure scheduling
+	// overhead (historically recorded as a bogus ~0.92x "speedup") — so
+	// the keys are omitted and a note records why.
+	if numCPU <= 1 {
+		hasParallel := false
+		for _, name := range []string{"FullSuiteParallel4", "FullSuiteParallel2"} {
+			if results[name].NsPerOp > 0 {
+				hasParallel = true
+			}
+		}
+		if hasParallel {
+			rep.Notes = append(rep.Notes,
+				"parallel speedups omitted: host has a single schedulable CPU, so the worker pool cannot run anything in parallel and the ratio would only measure scheduling overhead")
+		}
+		return rep
+	}
 	seqNs := results["FullSuiteSequential"].NsPerOp
 	if seqNs == 0 {
 		seqNs = results["FullSuite"].NsPerOp
@@ -111,33 +155,18 @@ func main() {
 	if p2 := results["FullSuiteParallel2"].NsPerOp; p2 > 0 && seqNs > 0 {
 		rep.Derived["full_suite_parallel2_speedup"] = seqNs / p2
 	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tdnuca-bench:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "tdnuca-bench:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "tdnuca-bench: wrote %d results to %s\n", len(results), *out)
+	return rep
 }
 
 // parse extracts `BenchmarkName  N  X ns/op [Y B/op  Z allocs/op]`
-// lines, echoing everything it reads so the tool can sit in a pipe
-// without hiding the raw `go test` output.
-func parse(r *os.File) (map[string]Result, error) {
+// lines, echoing everything it reads to echo so the tool can sit in a
+// pipe without hiding the raw `go test` output.
+func parse(r io.Reader, echo io.Writer) (map[string]Result, error) {
 	results := map[string]Result{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		fmt.Fprintln(echo, line)
 		f := strings.Fields(line)
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue

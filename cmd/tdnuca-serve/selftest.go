@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"tdnuca/internal/harness"
+	"tdnuca/internal/serve"
+	"tdnuca/internal/workloads"
+)
+
+// selftestFactor keeps the battery fast while still running every
+// Table II benchmark through the full machine model.
+const selftestFactor = 1.0 / 128.0
+
+// runSelftest hammers an in-process service with concurrent sweep
+// submissions and verifies the service's three core promises:
+//
+//  1. Coalescing: N concurrent submissions of one job run one simulation.
+//  2. Cache: a second pass over the suite is all cache hits, with
+//     byte-identical payloads.
+//  3. Fidelity: every payload digest equals the digest of a direct
+//     harness.RunMany of the same jobs.
+//
+// Finally it drains under a grace context and checks the pool exits
+// without leaking goroutines.
+func runSelftest(cfg serve.Config) error {
+	if cfg.Workers < 2 {
+		cfg.Workers = 2
+	}
+	cfg.CacheDir = "" // the battery must not touch the real cache
+	goroutinesBefore := runtime.NumGoroutine()
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.Start(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var specs []serve.JobSpec
+	var jobs []harness.Job
+	refCfg := harness.DefaultConfig()
+	refCfg.Factor = selftestFactor
+	for _, bench := range workloads.Names() {
+		for _, kind := range []harness.PolicyKind{harness.SNUCA, harness.TDNUCA} {
+			specs = append(specs, serve.JobSpec{Bench: bench, Policy: string(kind), Factor: selftestFactor})
+			jobs = append(jobs, harness.Job{Bench: bench, Kind: kind, Cfg: refCfg})
+		}
+	}
+
+	// Pass 1: every spec submitted by duplicateClients concurrent
+	// clients at once.
+	const duplicateClients = 4
+	ids := make([]string, len(specs))
+	firstPass, err := hammer(ts, specs, duplicateClients, ids)
+	if err != nil {
+		return fmt.Errorf("pass 1: %w", err)
+	}
+	for i := range specs {
+		if err := waitDone(ts, ids[i]); err != nil {
+			return fmt.Errorf("pass 1 job %s (%s/%s): %w", ids[i], specs[i].Bench, specs[i].Policy, err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Completed != uint64(len(specs)) {
+		return fmt.Errorf("pass 1 ran %d simulations for %d unique jobs (%d submissions); coalescing broken",
+			snap.Completed, len(specs), firstPass)
+	}
+	payloads1, err := fetchPayloads(ts, ids)
+	if err != nil {
+		return fmt.Errorf("pass 1 payloads: %w", err)
+	}
+
+	// Pass 2: the identical suite again — all cache hits, byte-identical.
+	hits := 0
+	for i, spec := range specs {
+		view, code, err := submitOne(ts, spec)
+		if err != nil {
+			return fmt.Errorf("pass 2 submit: %w", err)
+		}
+		if code != http.StatusOK || view.Status != serve.StatusDone || !view.CacheHit {
+			return fmt.Errorf("pass 2 job %s/%s: code=%d status=%s cache_hit=%v; want a cache hit",
+				spec.Bench, spec.Policy, code, view.Status, view.CacheHit)
+		}
+		if view.ID != ids[i] {
+			return fmt.Errorf("pass 2 job %s/%s: id %s != pass-1 id %s", spec.Bench, spec.Policy, view.ID, ids[i])
+		}
+		hits++
+	}
+	payloads2, err := fetchPayloads(ts, ids)
+	if err != nil {
+		return fmt.Errorf("pass 2 payloads: %w", err)
+	}
+	for i := range ids {
+		if !bytes.Equal(payloads1[i], payloads2[i]) {
+			return fmt.Errorf("job %s: second-pass payload differs from first", ids[i])
+		}
+	}
+	snap2 := s.Snapshot()
+	if snap2.Completed != snap.Completed {
+		return fmt.Errorf("pass 2 ran %d extra simulations; cache broken", snap2.Completed-snap.Completed)
+	}
+
+	// Fidelity: digests must equal a direct harness batch of the same jobs.
+	direct, err := harness.RunMany(jobs, cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("direct RunMany: %w", err)
+	}
+	for i := range jobs {
+		var p struct {
+			Digest string `json:"digest"`
+		}
+		if err := json.Unmarshal(payloads1[i], &p); err != nil {
+			return fmt.Errorf("job %s payload: %w", ids[i], err)
+		}
+		want := fmt.Sprintf("%016x", direct[i].Digest())
+		if p.Digest != want {
+			return fmt.Errorf("job %s (%s/%s): served digest %s != direct %s",
+				ids[i], jobs[i].Bench, jobs[i].Kind, p.Digest, want)
+		}
+	}
+
+	// Drain and verify the pool is gone.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	ts.Close()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines leaked: %d before, %d after drain", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Printf("selftest: %d unique jobs, %d submissions, %d simulations, %d second-pass cache hits, digests match direct runs\n",
+		len(specs), firstPass+len(specs), snap.Completed, hits)
+	return nil
+}
+
+// hammer submits every spec from `dup` concurrent clients and records
+// the (identical) id each landed on. Returns the submission count.
+func hammer(ts *httptest.Server, specs []serve.JobSpec, dup int, ids []string) (int, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs)*dup)
+	got := make([]string, len(specs)*dup)
+	for i, spec := range specs {
+		for d := 0; d < dup; d++ {
+			wg.Add(1)
+			go func(slot int, spec serve.JobSpec) {
+				defer wg.Done()
+				view, code, err := submitOne(ts, spec)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if code != http.StatusAccepted && code != http.StatusOK {
+					errs[slot] = fmt.Errorf("submit %s/%s: HTTP %d", spec.Bench, spec.Policy, code)
+					return
+				}
+				got[slot] = view.ID
+			}(i*dup+d, spec)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	for i := range specs {
+		ids[i] = got[i*dup]
+		for d := 1; d < dup; d++ {
+			if got[i*dup+d] != ids[i] {
+				return 0, fmt.Errorf("duplicate submissions of %s/%s got ids %s and %s",
+					specs[i].Bench, specs[i].Policy, ids[i], got[i*dup+d])
+			}
+		}
+	}
+	return len(specs) * dup, nil
+}
+
+func submitOne(ts *httptest.Server, spec serve.JobSpec) (serve.StatusView, int, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return serve.StatusView{}, 0, err
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return serve.StatusView{}, 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return serve.StatusView{}, resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var view serve.StatusView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return serve.StatusView{}, resp.StatusCode, err
+	}
+	return view, resp.StatusCode, nil
+}
+
+// waitDone follows the job's ndjson stream to its terminal line — the
+// same blocking primitive the package tests use.
+func waitDone(ts *httptest.Server, id string) error {
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	var last struct {
+		Type string          `json:"type"`
+		Err  json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		return err
+	}
+	if last.Type != "result" {
+		return fmt.Errorf("terminal stream line is %q (%s)", last.Type, last.Err)
+	}
+	return nil
+}
+
+func fetchPayloads(ts *httptest.Server, ids []string) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("result %s: HTTP %d: %s", id, resp.StatusCode, body)
+		}
+		out[i] = body
+	}
+	return out, nil
+}

@@ -26,10 +26,13 @@ import (
 //	            order-sensitive). Simulation code draws from the seeded
 //	            sim.RNG instead. Simulation packages only.
 //	goroutine — `go` statements anywhere except the sanctioned worker
-//	            pools: the harness run pool (internal/harness/parallel.go)
+//	            pools: the harness run pool (internal/harness/parallel.go),
+//	            the experiment service's pool (internal/serve/pool.go)
 //	            and the conservative parallel engine (internal/sim/pdes),
 //	            the audited places where concurrency is proven equivalent
-//	            to sequential execution. Simulation packages only.
+//	            to sequential execution (or, for the service, where every
+//	            simulation it spawns is itself a deterministic harness
+//	            run). Simulation packages only.
 //	staleallow — a goroutineAllowlist entry that no longer matches any go
 //	            statement. The allowlist is verified, not hand-trusted: a
 //	            sanctioned location that stops spawning loses its sanction,
@@ -77,6 +80,7 @@ type goAllowEntry struct {
 func goroutineAllowlist() []*goAllowEntry {
 	return []*goAllowEntry{
 		{pkg: "internal/harness", file: "parallel.go"},
+		{pkg: "internal/serve", file: "pool.go"},
 		{pkg: "internal/sim/pdes"},
 	}
 }
@@ -187,7 +191,7 @@ func (w *detWalker) visit(n ast.Node) bool {
 	case *ast.GoStmt:
 		if w.sim && !w.goAllowedHere(n) {
 			w.report(n.Pos(), "goroutine",
-				"goroutine spawned outside the sanctioned worker pools (internal/harness/parallel.go, internal/sim/pdes); simulation code must stay single-threaded")
+				"goroutine spawned outside the sanctioned worker pools (internal/harness/parallel.go, internal/serve/pool.go, internal/sim/pdes); simulation code must stay single-threaded")
 		}
 	case *ast.Ident:
 		if w.sim {

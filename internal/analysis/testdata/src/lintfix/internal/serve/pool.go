@@ -1,0 +1,15 @@
+// Package serve mirrors the experiment service: pool.go is the one file
+// where its worker goroutines are permitted.
+package serve
+
+// Start launches the worker pool — exempt by construction.
+func Start(workers int, run func()) chan struct{} {
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			run()
+			done <- struct{}{}
+		}()
+	}
+	return done
+}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tdnuca/internal/faults"
+	"tdnuca/internal/taskrt"
+)
+
+// TestJobValidateErrorFormat pins the exact error format every validate
+// branch must carry: "harness: <bench> under <kind>: <cause>". The
+// resolveSpec branch regressed once (it returned the bare cause), so the
+// full message is asserted, not just a substring.
+func TestJobValidateErrorFormat(t *testing.T) {
+	cfg := fastCfg()
+	err := Job{Bench: "nope", Kind: SNUCA, Cfg: cfg}.Validate()
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	const want = `harness: nope under S-NUCA: harness: unknown benchmark "nope"`
+	if err.Error() != want {
+		t.Errorf("validate error = %q, want %q", err.Error(), want)
+	}
+
+	// Every other branch carries the same prefix.
+	bad := cfg
+	bad.Arch.ClusterWidth, bad.Arch.ClusterHeight = 3, 3
+	for name, j := range map[string]Job{
+		"arch":    {Bench: "MD5", Kind: TDNUCA, Cfg: bad},
+		"workers": {Bench: "MD5", Kind: SNUCA, Cfg: func() Config { c := cfg; c.RT.SimWorkers = -1; return c }()},
+	} {
+		err := j.Validate()
+		if err == nil {
+			t.Fatalf("%s: invalid job accepted", name)
+		}
+		if !strings.HasPrefix(err.Error(), "harness: MD5 under ") {
+			t.Errorf("%s: error %q lacks the \"harness: <bench> under <kind>\" prefix", name, err)
+		}
+	}
+}
+
+func TestRunCtxNilAndBackgroundMatchRun(t *testing.T) {
+	want, err := Run("MD5", SNUCA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), "MD5", SNUCA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != want.Digest() {
+		t.Errorf("RunCtx digest %016x != Run digest %016x", got.Digest(), want.Digest())
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, "MD5", SNUCA, fastCfg())
+	if err == nil {
+		t.Fatal("pre-canceled context accepted")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "harness: MD5 under S-NUCA") {
+		t.Errorf("err = %v, missing job identification", err)
+	}
+}
+
+// countdownCtx is a context whose Err flips to Canceled after n polls —
+// a deterministic way to cancel exactly mid-run, at the n-th
+// dispatch-boundary check, without racing a timer against the simulator.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return nil }
+
+func TestRunCtxMidRunCancelSurfacesStallCanceled(t *testing.T) {
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(10) // survive the upfront check, cancel at a later dispatch
+	_, err := RunCtx(ctx, "MD5", SNUCA, fastCfg())
+	if err == nil {
+		t.Fatal("mid-run cancellation returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	var se *taskrt.StallError
+	if !errors.As(err, &se) || se.Kind != taskrt.StallCanceled {
+		t.Errorf("err = %v, want a wrapped StallCanceled StallError", err)
+	}
+	if !strings.Contains(err.Error(), "harness: MD5 under S-NUCA") {
+		t.Errorf("err = %v, missing job identification", err)
+	}
+}
+
+func TestRunCtxMidRunCancelParallelSim(t *testing.T) {
+	cfg := fastCfg()
+	cfg.RT.SimWorkers = 4
+	before := runtime.NumGoroutine()
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(10)
+	_, err := RunCtx(ctx, "MD5", SNUCA, cfg)
+	var se *taskrt.StallError
+	if err == nil || !errors.As(err, &se) || se.Kind != taskrt.StallCanceled {
+		t.Errorf("err = %v, want a wrapped StallCanceled StallError", err)
+	}
+	// The PDES engine must join its outstanding flights on the way out.
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestRunManyCtxCancelsInFlightOnFirstFailure is the regression test for
+// the old behavior where RunMany kept simulating every claimed job after
+// another worker had already failed. Exactly one job can fail on its own
+// merits (index 1, a one-cycle budget), so the reported error must be
+// that job's StallError — deterministically, at any worker count — and
+// never a cancellation echo from one of the aborted siblings.
+func TestRunManyCtxCancelsInFlightOnFirstFailure(t *testing.T) {
+	cfg := fastCfg()
+	doomed := cfg
+	doomed.RT.MaxCycles = 1 // trips the watchdog at the first dispatch
+	jobs := []Job{
+		{Bench: "MD5", Kind: SNUCA, Cfg: cfg},
+		{Bench: "LU", Kind: SNUCA, Cfg: doomed},
+	}
+	for _, b := range []string{"Kmeans", "MD5", "LU", "Kmeans", "MD5", "LU"} {
+		jobs = append(jobs, Job{Bench: b, Kind: TDNUCA, Cfg: cfg})
+	}
+	for _, workers := range []int{2, 4, 16} {
+		before := runtime.NumGoroutine()
+		_, err := RunManyCtx(context.Background(), jobs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: doomed batch succeeded", workers)
+		}
+		var se *taskrt.StallError
+		if !errors.As(err, &se) || se.Kind != taskrt.StallBudget {
+			t.Errorf("workers=%d: err = %v, want the index-1 budget StallError", workers, err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v is a cancellation echo, want the originating failure", workers, err)
+		}
+		if !strings.Contains(err.Error(), "harness: LU under S-NUCA") {
+			t.Errorf("workers=%d: err = %v does not identify the failing job", workers, err)
+		}
+		assertNoGoroutineLeak(t, before)
+	}
+}
+
+func TestRunManyCtxParentCancelAbortsBatch(t *testing.T) {
+	cfg := fastCfg()
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{Bench: "LU", Kind: TDNUCA, Cfg: cfg})
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunManyCtx(ctx, jobs, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled batch: err = %v, want context.Canceled", err)
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestRunDegradedManyCtxCancel(t *testing.T) {
+	cfg := fastCfg()
+	sc := faults.ScenarioAt(&cfg.Arch, 1, 1)
+	jobs := []DegradedJob{
+		{Bench: "MD5", Kind: SNUCA, Cfg: cfg, Scenario: sc},
+		{Bench: "LU", Kind: SNUCA, Cfg: cfg, Scenario: sc},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunDegradedManyCtx(ctx, jobs, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled degraded batch: err = %v, want context.Canceled", err)
+	}
+	// And the uncanceled path still works and matches RunDegraded.
+	got, err := RunDegradedManyCtx(context.Background(), jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunDegraded("MD5", SNUCA, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Digest() != want.Digest() {
+		t.Errorf("degraded ctx digest %016x != direct %016x", got[0].Digest(), want.Digest())
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -46,7 +47,15 @@ func (r DegradedResult) Digest() uint64 {
 // validated against the architecture first; a scheduler stall surfaces
 // as a *taskrt.StallError, not a hang.
 func RunDegraded(bench string, kind PolicyKind, cfg Config, sc *faults.Scenario) (DegradedResult, error) {
-	res, _, fst, err := run(bench, kind, cfg, nil, sc)
+	return RunDegradedCtx(nil, bench, kind, cfg, sc)
+}
+
+// RunDegradedCtx is RunDegraded under a context, with RunCtx's
+// dispatch-boundary cancellation semantics. The injector and the cancel
+// check share the quiesced dispatch points, so a canceled degraded run
+// never stops mid-reconfiguration.
+func RunDegradedCtx(ctx context.Context, bench string, kind PolicyKind, cfg Config, sc *faults.Scenario) (DegradedResult, error) {
+	res, _, fst, err := run(ctx, bench, kind, cfg, nil, sc)
 	if err != nil {
 		return DegradedResult{}, err
 	}
@@ -67,6 +76,12 @@ type DegradedJob struct {
 	Cfg      Config
 	Scenario *faults.Scenario
 }
+
+// Validate is the exported form of the up-front job check, for callers
+// that admit jobs long before running them (the experiment service
+// rejects a malformed submission at the HTTP boundary with exactly this
+// error).
+func (j DegradedJob) Validate() error { return j.validate() }
 
 // validate mirrors Job.validate with the scenario checked too.
 func (j DegradedJob) validate() error {

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"tdnuca/internal/arch"
@@ -123,7 +125,20 @@ func (r Result) Speedup(base Result) float64 {
 
 // Run executes one benchmark under one policy and returns its Result.
 func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
-	r, _, _, err := run(bench, kind, cfg, nil, nil)
+	r, _, _, err := run(nil, bench, kind, cfg, nil, nil)
+	return r, err
+}
+
+// RunCtx is Run under a context: cancellation is checked at every
+// task-dispatch boundary (the scheduler's quiesced points, the same
+// places the watchdog checks its cycle budget), so a canceled run stops
+// within one task's worth of simulation instead of completing. The
+// returned error satisfies errors.Is(err, context.Canceled) (or the
+// context's cause) and carries the structured *taskrt.StallError in its
+// chain. A run whose context is never canceled returns a Result
+// byte-identical to Run's — the hook only observes, never steers.
+func RunCtx(ctx context.Context, bench string, kind PolicyKind, cfg Config) (Result, error) {
+	r, _, _, err := run(ctx, bench, kind, cfg, nil, nil)
 	return r, err
 }
 
@@ -132,7 +147,14 @@ func Run(bench string, kind PolicyKind, cfg Config) (Result, error) {
 // slices, cycle stack). Tracing is observation-only, so the Result — and
 // therefore the suite digest — is byte-identical to an untraced Run.
 func RunTraced(bench string, kind PolicyKind, cfg Config, topts trace.Options) (Result, *trace.Data, error) {
-	res, d, _, err := run(bench, kind, cfg, trace.New(topts), nil)
+	return RunTracedCtx(nil, bench, kind, cfg, topts)
+}
+
+// RunTracedCtx is RunTraced under a context, with RunCtx's cancellation
+// semantics. The experiment service uses it to cache and stream the
+// interval time series of a job without changing its digest.
+func RunTracedCtx(ctx context.Context, bench string, kind PolicyKind, cfg Config, topts trace.Options) (Result, *trace.Data, error) {
+	res, d, _, err := run(ctx, bench, kind, cfg, trace.New(topts), nil)
 	if err != nil {
 		return res, nil, err
 	}
@@ -173,7 +195,17 @@ func resolveSpec(bench string, f workloads.Factor) (workloads.Spec, error) {
 	return workloads.Spec{}, fmt.Errorf("harness: unknown benchmark %q", bench)
 }
 
-func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults.Scenario) (Result, *trace.Data, faults.Stats, error) {
+func run(ctx context.Context, bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults.Scenario) (Result, *trace.Data, faults.Stats, error) {
+	if ctx != nil {
+		if ctx.Err() != nil {
+			return Result{}, nil, faults.Stats{}, fmt.Errorf("harness: %s under %s: %w", bench, kind, ctxCause(ctx))
+		}
+		// Dispatch boundaries are the scheduler's quiesced points: no task
+		// mid-flight, so stopping there leaves no half-simulated state to
+		// reason about. ctx.Err is one atomic load — cheap enough to poll
+		// every dispatch.
+		cfg.RT.Canceled = func() bool { return ctx.Err() != nil }
+	}
 	spec, err := resolveSpec(bench, cfg.Factor)
 	if err != nil {
 		return Result{}, nil, faults.Stats{}, err
@@ -237,7 +269,7 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults
 
 	rt := taskrt.New(m, hooks, cfg.RT)
 	if err := buildChecked(spec, rt); err != nil {
-		return Result{}, nil, faults.Stats{}, err
+		return Result{}, nil, faults.Stats{}, wrapCanceled(ctx, bench, kind, err)
 	}
 
 	res := Result{
@@ -332,6 +364,27 @@ func run(bench string, kind PolicyKind, cfg Config, tr *trace.Tracer, sc *faults
 		fst = inj.Stats()
 	}
 	return res, data, fst, nil
+}
+
+// ctxCause returns why ctx ended, defaulting to context.Canceled when
+// the context implementation records no cause.
+func ctxCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return context.Canceled
+}
+
+// wrapCanceled rewrites a StallCanceled watchdog error as the context's
+// own cause so callers can errors.Is(err, context.Canceled) — the
+// structured *taskrt.StallError stays in the chain for error-body
+// mapping (internal/serve). Every other error passes through unchanged.
+func wrapCanceled(ctx context.Context, bench string, kind PolicyKind, err error) error {
+	var se *taskrt.StallError
+	if ctx == nil || !errors.As(err, &se) || se.Kind != taskrt.StallCanceled {
+		return err
+	}
+	return fmt.Errorf("harness: %s under %s: %w (%w)", bench, kind, ctxCause(ctx), se)
 }
 
 // buildChecked runs the benchmark's TDG builder, converting a scheduler

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// cache is the content-addressed result store: an in-memory LRU over
+// payload bytes, optionally backed by an on-disk directory so results
+// survive restarts. Keys are JobSpec.ID strings (%016x content
+// addresses), values are the exact response bytes — a hit is served
+// byte-identical to the original run's response.
+type cache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List               // front = most recently used
+	byID map[string]*list.Element // id -> element holding *cacheEntry
+
+	dir string // "" = memory only
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	id      string
+	payload []byte
+}
+
+func newCache(capacity int, dir string) (*cache, error) {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &cache{cap: capacity, ll: list.New(), byID: make(map[string]*list.Element), dir: dir}, nil
+}
+
+// get returns the cached payload for id, consulting memory first and
+// then disk (promoting a disk hit into the LRU). The returned slice is
+// shared — callers must not mutate it.
+func (c *cache) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).payload, true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(id)); err == nil {
+			c.insertLocked(id, b)
+			c.hits++
+			return b, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores a payload under its content address, writing through to
+// disk when configured. Disk write failures are reported but do not
+// invalidate the in-memory entry.
+func (c *cache) put(id string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		// Determinism makes re-puts byte-identical; keep the first.
+		c.ll.MoveToFront(el)
+		return nil
+	}
+	c.insertLocked(id, payload)
+	if c.dir == "" {
+		return nil
+	}
+	return writeAtomic(c.path(id), payload)
+}
+
+func (c *cache) insertLocked(id string, payload []byte) {
+	c.byID[id] = c.ll.PushFront(&cacheEntry{id: id, payload: payload})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byID, el.Value.(*cacheEntry).id)
+		c.evictions++
+	}
+}
+
+func (c *cache) path(id string) string { return filepath.Join(c.dir, id+".json") }
+
+// cacheIndex is the flushed manifest: which addresses the store holds
+// and how large each payload is, written on drain so an operator can
+// audit the cache without parsing payloads.
+type cacheIndex struct {
+	Schema  string            `json:"schema"`
+	Entries []cacheIndexEntry `json:"entries"`
+}
+
+type cacheIndexEntry struct {
+	ID    string `json:"id"`
+	Bytes int    `json:"bytes"`
+}
+
+// flush writes the cache index to disk (a no-op for memory-only
+// caches). Entries are sorted by id so the manifest is deterministic.
+func (c *cache) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	idx := cacheIndex{Schema: addressSchema}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		idx.Entries = append(idx.Entries, cacheIndexEntry{ID: e.id, Bytes: len(e.payload)})
+	}
+	sort.Slice(idx.Entries, func(i, k int) bool { return idx.Entries[i].ID < idx.Entries[k].ID })
+	b, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(c.dir, "index.json"), append(b, '\n'))
+}
+
+// writeAtomic writes via a temp file + rename so a crash mid-write can
+// never leave a torn payload under a valid content address.
+func writeAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// counters returns a consistent snapshot of the cache statistics.
+func (c *cache) counters() (hits, misses, evictions uint64, resident int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

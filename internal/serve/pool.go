@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// pool.go is the one file in this package sanctioned to spawn
+// goroutines (the determinism lint's allowlist names it, like
+// internal/harness/parallel.go). Everything a worker runs is a
+// deterministic harness simulation; concurrency here decides only
+// when a job runs, never what it produces.
+
+// Start launches the worker pool. The context governs admission: when
+// it ends (SIGTERM in cmd/tdnuca-serve), the server stops admitting
+// and idle workers exit, but in-flight simulations keep running — they
+// are only aborted when a Drain grace period expires, at their next
+// task-dispatch boundary. Start is idempotent; only the first call has
+// effect.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	// Deliberately NOT derived from ctx: in-flight runs survive the end
+	// of admission and are canceled only by Drain's grace expiry.
+	runCtx, cancel := context.WithCancel(context.Background())
+	s.cancelRuns = cancel
+	// Wake blocked workers when the service context ends. AfterFunc's
+	// own goroutine is runtime-internal; the callback only flips state
+	// under the lock.
+	context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.draining = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(runCtx)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.done)
+	}()
+}
+
+// worker claims and executes jobs until the queue is drained for good.
+// runCtx only aborts the simulations themselves (Drain grace expiry);
+// claiming stops when draining empties the queue.
+func (s *Server) worker(runCtx context.Context) {
+	for {
+		st := s.next()
+		if st == nil {
+			return
+		}
+		s.execute(runCtx, st)
+	}
+}
+
+// next blocks until a job is claimable or the pool is shutting down
+// (draining with an empty queue). It performs the queued -> running
+// transition under the lock.
+func (s *Server) next() *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.queue) > 0 {
+			st := s.queue.pop()
+			st.transitionLocked(StatusRunning)
+			s.running++
+			return st
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import "container/heap"
+
+// jobQueue is the admission queue: a priority heap ordered by descending
+// priority, FIFO (ascending submission sequence) within a level. The
+// sequence tie-break makes dequeue order deterministic for any fixed
+// submission order, matching the repo-wide rule that scheduling never
+// depends on map or timer nondeterminism.
+type jobQueue []*jobState
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*jobState)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	st := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return st
+}
+
+func (q *jobQueue) push(st *jobState) { heap.Push(q, st) }
+
+func (q *jobQueue) pop() *jobState { return heap.Pop(q).(*jobState) }

@@ -128,6 +128,12 @@ func (rt *Runtime) waitParallel(workers int) error {
 	}
 
 	for rt.pending > 0 {
+		// Cancellation is a dispatch-boundary check here too: outstanding
+		// flights are joined by the deferred eng.Close, and the abandoned
+		// run's shard views are simply dropped.
+		if c := rt.opts.Canceled; c != nil && c() {
+			return rt.stallError(StallCanceled, 0)
+		}
 		if rt.pending == len(flights) {
 			// Everything left is already in flight: fold.
 			joinEarliest()

@@ -66,6 +66,14 @@ type Options struct {
 	// here: dispatch boundaries are the only points where no task is
 	// mid-flight, so injected reconfigurations stay deterministic.
 	OnDispatch func(now sim.Cycles) sim.Cycles
+	// Canceled, when non-nil, is polled at every task-dispatch boundary —
+	// the same quiesced points the watchdog checks its cycle budget at.
+	// Returning true stops the scheduler with a StallCanceled error
+	// instead of dispatching another task, which is how the harness
+	// context variants (RunCtx/RunManyCtx) and the experiment service's
+	// drain abort a run whose result nobody will read. A run whose hook
+	// never reports true behaves bit-identically to one without the hook.
+	Canceled func() bool
 	// SimWorkers bounds the conservative-PDES worker pool (see
 	// parallel.go and internal/sim/pdes) used to execute provably
 	// independent ready tasks concurrently. 0 and 1 select the sequential
@@ -236,6 +244,9 @@ func (rt *Runtime) WaitFor(t *Task) {
 // a *StallError when the watchdog detects the schedule cannot (deadlock)
 // or should not (cycle budget) continue.
 func (rt *Runtime) dispatchOne() *StallError {
+	if c := rt.opts.Canceled; c != nil && c() {
+		return rt.stallError(StallCanceled, 0)
+	}
 	idx, core, err := rt.plan()
 	if err != nil {
 		return err

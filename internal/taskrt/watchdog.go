@@ -23,12 +23,20 @@ const (
 	// StallBudget: the next dispatch would pass the configured MaxCycles
 	// budget (Options.MaxCycles) — the schedule is running away.
 	StallBudget
+	// StallCanceled: Options.Canceled reported the run's context is gone
+	// (harness RunCtx/RunManyCtx cancellation, service drain); the
+	// scheduler stops at the next dispatch boundary instead of finishing
+	// a schedule nobody will read.
+	StallCanceled
 )
 
 // String names the stall kind.
 func (k StallKind) String() string {
-	if k == StallBudget {
+	switch k {
+	case StallBudget:
 		return "cycle budget exceeded"
+	case StallCanceled:
+		return "canceled"
 	}
 	return "deadlock"
 }
@@ -53,9 +61,12 @@ type StallError struct {
 func (e *StallError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "taskrt: %s: %d task(s) pending", e.Kind, e.Pending)
-	if e.Kind == StallBudget {
+	switch e.Kind {
+	case StallBudget:
 		fmt.Fprintf(&b, ", next dispatch at cycle %d exceeds budget %d", e.Now, e.Limit)
-	} else {
+	case StallCanceled:
+		b.WriteString(", run canceled at a dispatch boundary")
+	default:
 		b.WriteString(" but none ready (dependency cycle or never-satisfied dependency)")
 	}
 	if len(e.Stuck) > 0 {
