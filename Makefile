@@ -32,6 +32,13 @@
 #                    all cache hits with payload digests byte-identical
 #                    to direct harness runs, plus the raced drain /
 #                    cache / SIGTERM package tests (DESIGN.md §15)
+#   make chaos-smoke the chaos-hardened stack (DESIGN.md §16): raced
+#                    cache-integrity, fault-injection and retrying-client
+#                    tests, then the tdnuca-load soak — 8 clients x 1000
+#                    jobs through seeded severity-2 chaos, asserting
+#                    exactly-once simulation, byte fidelity against
+#                    direct runs, quarantine of corrupted cache entries
+#                    and a leak-free drain
 #   make fuzz-smoke  short fuzz of the workload-generator name parser
 #                    and validator (seed corpus always runs under test)
 #   make golden      refresh the golden suite digests (healthy, degraded
@@ -39,7 +46,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-timing bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke fuzz-smoke golden ci
+.PHONY: build test race vet lint lint-timing bench bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke chaos-smoke fuzz-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -55,7 +62,7 @@ test:
 # (fault-injected) parallel suite and the SimWorkers equivalence table,
 # so mid-run reconfiguration and in-run flights are raced too.
 race:
-	$(GO) test -race -timeout 3600s ./internal/harness ./internal/machine ./internal/taskrt ./internal/sim/pdes ./internal/serve
+	$(GO) test -race -timeout 3600s ./internal/harness ./internal/machine ./internal/taskrt ./internal/sim/pdes ./internal/serve ./internal/chaos ./internal/client
 
 vet:
 	$(GO) vet ./...
@@ -128,6 +135,18 @@ serve-smoke:
 	$(GO) test -race -count=1 ./internal/serve -run 'TestCacheHit|TestDrain|TestSIGTERM|TestConcurrentDuplicate'
 	$(GO) run ./cmd/tdnuca-serve -selftest
 
+# The chaos-hardened stack (DESIGN.md §16): raced integrity / chaos /
+# client packages (the corruption, stream-resume and idempotent-
+# resubmission tests), then the full soak — 8 concurrent retrying
+# clients push 1000 jobs through a seeded severity-2 fault-injecting
+# transport and a corruption drill over the disk cache, exiting
+# non-zero if any invariant (exactly-once simulation, byte fidelity,
+# quarantine, leak-free drain) is violated.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/client
+	$(GO) test -race -count=1 ./internal/serve -run 'TestCacheCorrupt|TestCacheHeaderTamper|TestCacheIndexRebuilt|TestCacheFlushIncludesEvicted|TestCorruptEntryNeverServed'
+	$(GO) run -race ./cmd/tdnuca-load -clients 8 -jobs 1000 -severity 2 -factor 0.0078125 -out /tmp/tdnuca-load-report.json
+
 # Short fuzz of the generator's name parser/validator; the checked-in
 # seed corpus also runs on every plain `go test`.
 fuzz-smoke:
@@ -139,4 +158,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./internal/harness -run 'Golden|TestGeneratedGoldenDigests' -update
 
-ci: build lint lint-timing test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke
+ci: build lint lint-timing test race bench-quick trace-smoke faults-smoke gen-smoke pdes-smoke serve-smoke chaos-smoke

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSoakSmall is the in-test edition of the soak: smaller than the
+// make chaos-smoke run but through the same code path, so `go test
+// ./...` exercises chaos + client + integrity end to end.
+func TestSoakSmall(t *testing.T) {
+	rep, err := runLoad(options{
+		Clients:  4,
+		Jobs:     64,
+		Seed:     7,
+		Severity: 2,
+		Workers:  4,
+		QueueCap: 128,
+		Factor:   1.0 / 128.0,
+		Corrupt:  2,
+		CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("soak failed:\n%s", b)
+	}
+	if rep.Chaos.Injected() == 0 {
+		t.Error("chaos injected nothing")
+	}
+	if rep.Corruption.Corrupted != 2 || rep.Corruption.Quarantined < 2 {
+		t.Errorf("corruption drill = %+v, want 2 corrupted and >= 2 quarantined", rep.Corruption)
+	}
+	if rep.Server.Completed != uint64(rep.UniqueSpecs) {
+		t.Errorf("completed %d simulations for %d unique specs", rep.Server.Completed, rep.UniqueSpecs)
+	}
+}
+
+// TestSpecPoolForcedCoverage pins the pool's shape: every benchmark
+// under both policies plus the degraded and traced variants, all
+// distinct content addresses.
+func TestSpecPoolForcedCoverage(t *testing.T) {
+	pool := specPool(1.0 / 128.0)
+	if len(pool) != 20 {
+		t.Fatalf("pool has %d specs, want 20 (8 benches x 2 policies + 2 degraded + 2 traced)", len(pool))
+	}
+	degraded, traced := 0, 0
+	for _, s := range pool {
+		if s.Faults != "" {
+			degraded++
+		}
+		if s.Trace {
+			traced++
+		}
+	}
+	if degraded != 2 || traced != 2 {
+		t.Errorf("pool has %d degraded / %d traced specs, want 2/2", degraded, traced)
+	}
+}

@@ -1,0 +1,410 @@
+// Package chaos is seeded fault injection at the HTTP boundary: a
+// deterministic http.RoundTripper (client side) and http.Handler
+// middleware (server side) that inject 5xx responses, connection
+// resets, response truncation and latency from a seed.
+//
+// It is the internal/faults idea — a seeded severity ladder of
+// adversity, reproducible from (seed, severity) alone — lifted from the
+// simulated machine to the network between a client and tdnuca-serve.
+// The decision for request i is a pure function of (seed, i): replaying
+// a soak with the same seed replays the same fault sequence against the
+// same request arrival order, which is what makes a chaos failure
+// debuggable instead of anecdotal.
+//
+// The package never reads the wall clock to *decide* anything; only the
+// optional latency fault consumes real time, through the one annotated
+// timer in sleep (or whatever Sleep hook the caller injects).
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tdnuca/internal/sim"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// KindNone: the request passes through untouched.
+	KindNone Kind = iota
+	// Kind5xx: a synthetic 500/503 response; the request never reaches
+	// the next transport (client side) or handler (server side).
+	Kind5xx
+	// KindReset: the connection dies. Client side this surfaces as a
+	// wrapped ECONNRESET; half the injections forward the request first
+	// ("reset after send" — the server did the work, the client never
+	// learns), which is the case that makes idempotent resubmission by
+	// content address mandatory.
+	KindReset
+	// KindTruncate: the response body is cut short mid-stream, ending in
+	// io.ErrUnexpectedEOF (client side) or an aborted connection (server
+	// side).
+	KindTruncate
+	// KindLatency: the request is delayed before being forwarded.
+	KindLatency
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case Kind5xx:
+		return "5xx"
+	case KindReset:
+		return "reset"
+	case KindTruncate:
+		return "truncate"
+	case KindLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config parameterizes an injector. Rates are probabilities in [0, 1],
+// evaluated in the order 5xx, reset, truncate, latency (cumulative —
+// their sum must stay <= 1; Validate checks).
+type Config struct {
+	// Seed drives every injection decision. Same seed, same request
+	// index, same fault — regardless of timing or concurrency.
+	Seed uint64
+
+	Rate5xx      float64 // synthetic 500/503 responses
+	RateReset    float64 // connection resets (client: half after send)
+	RateTruncate float64 // mid-body response truncation
+	RateLatency  float64 // injected delay before forwarding
+
+	// MaxLatency bounds an injected delay; the actual delay is drawn
+	// deterministically in (0, MaxLatency]. Zero disables the latency
+	// fault even when RateLatency > 0.
+	MaxLatency time.Duration
+
+	// TruncateAfter bounds how many body bytes survive a truncation; the
+	// cut point is drawn deterministically in [1, TruncateAfter]. Zero
+	// means the default 64 — small enough to land inside any payload.
+	TruncateAfter int
+
+	// Sleep is the latency sink. Nil means the package's own timer
+	// (real time — this is network chaos, not simulation time). Tests
+	// inject a recorder.
+	Sleep func(time.Duration)
+}
+
+// Validate rejects impossible configurations, mirroring
+// faults.Scenario.Validate's job at the machine boundary.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"5xx", c.Rate5xx}, {"reset", c.RateReset}, {"truncate", c.RateTruncate}, {"latency", c.RateLatency}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("chaos: rate %s = %v out of [0,1]", r.name, r.v)
+		}
+	}
+	if sum := c.Rate5xx + c.RateReset + c.RateTruncate + c.RateLatency; sum > 1 {
+		return fmt.Errorf("chaos: fault rates sum to %v > 1", sum)
+	}
+	if c.MaxLatency < 0 {
+		return fmt.Errorf("chaos: negative MaxLatency %v", c.MaxLatency)
+	}
+	if c.TruncateAfter < 0 {
+		return fmt.Errorf("chaos: negative TruncateAfter %d", c.TruncateAfter)
+	}
+	return nil
+}
+
+// LadderAt is the canonical severity ladder, the HTTP sibling of
+// faults.ScenarioAt: 0 is a calm network (no faults), each step up adds
+// fault kinds and raises rates, 3 is outright hostile. Any (seed,
+// severity) pair always yields the same Config.
+func LadderAt(seed uint64, severity int) Config {
+	c := Config{Seed: seed, MaxLatency: 2 * time.Millisecond, TruncateAfter: 64}
+	if severity >= 1 {
+		c.Rate5xx = 0.02
+		c.RateLatency = 0.05
+	}
+	if severity >= 2 {
+		c.Rate5xx = 0.04
+		c.RateTruncate = 0.04
+		c.RateReset = 0.02
+	}
+	if severity >= 3 {
+		c.Rate5xx = 0.08
+		c.RateTruncate = 0.08
+		c.RateReset = 0.06
+		c.RateLatency = 0.10
+	}
+	return c
+}
+
+// decision is the deterministic plan for one request.
+type decision struct {
+	kind      Kind
+	code      int           // Kind5xx: 500 or 503
+	afterSend bool          // KindReset: forward first, then kill the reply
+	cutAt     int           // KindTruncate: surviving body bytes
+	delay     time.Duration // KindLatency
+}
+
+// decide maps (config, request index) to a fault plan. Pure: no clock,
+// no shared RNG state — a private generator is seeded per request, so
+// the plan for request i is independent of what other requests did and
+// of the order goroutines reached the injector.
+func (c Config) decide(i uint64) decision {
+	rng := sim.NewRNG(c.Seed ^ (i+1)*0x9e3779b97f4a7c15)
+	draw := rng.Float64()
+	switch {
+	case draw < c.Rate5xx:
+		code := http.StatusInternalServerError
+		if rng.Uint64()&1 == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		return decision{kind: Kind5xx, code: code}
+	case draw < c.Rate5xx+c.RateReset:
+		return decision{kind: KindReset, afterSend: rng.Uint64()&1 == 0}
+	case draw < c.Rate5xx+c.RateReset+c.RateTruncate:
+		cut := c.TruncateAfter
+		if cut == 0 {
+			cut = 64
+		}
+		return decision{kind: KindTruncate, cutAt: 1 + rng.Intn(cut)}
+	case draw < c.Rate5xx+c.RateReset+c.RateTruncate+c.RateLatency:
+		if c.MaxLatency <= 0 {
+			return decision{kind: KindNone}
+		}
+		return decision{kind: KindLatency, delay: time.Duration(1 + rng.Intn(int(c.MaxLatency)))}
+	}
+	return decision{kind: KindNone}
+}
+
+// Counters is a snapshot of what an injector has done.
+type Counters struct {
+	Requests    uint64 `json:"requests"`
+	Errors5xx   uint64 `json:"errors_5xx"`
+	Resets      uint64 `json:"resets"`
+	Truncations uint64 `json:"truncations"`
+	Latencies   uint64 `json:"latencies"`
+}
+
+// Injected returns the total number of faulted requests.
+func (c Counters) Injected() uint64 { return c.Errors5xx + c.Resets + c.Truncations + c.Latencies }
+
+// Add merges another snapshot (for per-client aggregation in reports).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Requests:    c.Requests + o.Requests,
+		Errors5xx:   c.Errors5xx + o.Errors5xx,
+		Resets:      c.Resets + o.Resets,
+		Truncations: c.Truncations + o.Truncations,
+		Latencies:   c.Latencies + o.Latencies,
+	}
+}
+
+// tally is the lock-free shared counter block of an injector.
+type tally struct {
+	n     atomic.Uint64 // request index source
+	kinds [numKinds]atomic.Uint64
+}
+
+func (t *tally) record(k Kind) { t.kinds[k].Add(1) }
+
+func (t *tally) counters() Counters {
+	return Counters{
+		Requests:    t.n.Load(),
+		Errors5xx:   t.kinds[Kind5xx].Load(),
+		Resets:      t.kinds[KindReset].Load(),
+		Truncations: t.kinds[KindTruncate].Load(),
+		Latencies:   t.kinds[KindLatency].Load(),
+	}
+}
+
+// resetError is the injected connection-reset error; it wraps
+// syscall.ECONNRESET so clients classifying with errors.Is treat it
+// exactly like the real thing.
+type resetError struct{ i uint64 }
+
+func (e *resetError) Error() string {
+	return fmt.Sprintf("chaos: injected connection reset (request %d): %v", e.i, syscall.ECONNRESET)
+}
+
+func (e *resetError) Unwrap() error { return syscall.ECONNRESET }
+
+// Transport is the client-side injector: it wraps a RoundTripper and
+// perturbs requests/responses per its Config. Safe for concurrent use.
+type Transport struct {
+	next  http.RoundTripper
+	cfg   Config
+	sleep func(time.Duration)
+	tally tally
+}
+
+// NewTransport validates cfg and builds an injector over next (nil next
+// means http.DefaultTransport).
+func NewTransport(next http.RoundTripper, cfg Config) (*Transport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	s := cfg.Sleep
+	if s == nil {
+		s = sleep
+	}
+	return &Transport{next: next, cfg: cfg, sleep: s}, nil
+}
+
+// Counters snapshots the injection statistics.
+func (t *Transport) Counters() Counters { return t.tally.counters() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := t.tally.n.Add(1) - 1
+	d := t.cfg.decide(i)
+	t.tally.record(d.kind)
+	switch d.kind {
+	case Kind5xx:
+		// Synthesized before the wire: the server never sees the request.
+		body := fmt.Sprintf(`{"error":{"kind":"chaos","message":"injected %d (request %d)"}}`, d.code, i)
+		resp := &http.Response{
+			StatusCode:    d.code,
+			Status:        fmt.Sprintf("%d chaos", d.code),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		return resp, nil
+	case KindReset:
+		if d.afterSend {
+			// The request reaches the server; the response is lost. This
+			// is the ambiguous failure idempotent resubmission exists for.
+			if resp, err := t.next.RoundTrip(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		} else if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &resetError{i: i}
+	case KindTruncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncatingBody{rc: resp.Body, remain: d.cutAt}
+		return resp, nil
+	case KindLatency:
+		t.sleep(d.delay)
+	}
+	return t.next.RoundTrip(req)
+}
+
+// truncatingBody passes through remain bytes, then reports an abrupt
+// connection end (io.ErrUnexpectedEOF) and discards the rest.
+type truncatingBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		return n, io.EOF // real end of body before the cut: nothing to truncate
+	}
+	if b.remain <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error {
+	io.Copy(io.Discard, b.rc) // drain so the connection is reusable
+	return b.rc.Close()
+}
+
+// Middleware is the server-side injector: it wraps a handler and
+// perturbs responses before or while they are written. Resets and
+// truncations abort the connection via http.ErrAbortHandler, which the
+// client observes as an unexpected EOF — the stream-resume path's
+// natural trigger.
+func Middleware(cfg Config, next http.Handler) (http.Handler, *Transport) {
+	t := &Transport{cfg: cfg, sleep: cfg.Sleep}
+	if t.sleep == nil {
+		t.sleep = sleep
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := t.tally.n.Add(1) - 1
+		d := cfg.decide(i)
+		t.tally.record(d.kind)
+		switch d.kind {
+		case Kind5xx:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.code)
+			fmt.Fprintf(w, `{"error":{"kind":"chaos","message":"injected %d (request %d)"}}`, d.code, i)
+			return
+		case KindReset:
+			panic(http.ErrAbortHandler)
+		case KindTruncate:
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w, remain: d.cutAt}, r)
+			return
+		case KindLatency:
+			t.sleep(d.delay)
+		}
+		next.ServeHTTP(w, r)
+	})
+	return h, t
+}
+
+// truncatingWriter lets remain bytes through, then aborts the
+// connection mid-response.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remain int
+}
+
+func (w *truncatingWriter) Write(p []byte) (int, error) {
+	if w.remain <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) > w.remain {
+		if n, err := w.ResponseWriter.Write(p[:w.remain]); err != nil {
+			return n, err
+		}
+		if f, ok := w.ResponseWriter.(http.Flusher); ok {
+			f.Flush() // push the partial bytes out before killing the connection
+		}
+		panic(http.ErrAbortHandler)
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.remain -= n
+	return n, err
+}
+
+// sleep is the default latency sink: real time, deliberately — this
+// package models a physical network, and the determinism contract
+// covers *which* requests are delayed (seeded), not the clock that
+// realizes the delay.
+func sleep(d time.Duration) {
+	t := time.NewTimer(d) //tdnuca:allow(wallclock) injected network latency is realized in real time; which requests are delayed stays seeded
+	defer t.Stop()
+	<-t.C
+}

@@ -1,0 +1,288 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// noSleep is the test latency sink: records instead of waiting.
+func noSleep(recorded *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *recorded = append(*recorded, d) }
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	cfg := LadderAt(42, 3)
+	for i := uint64(0); i < 2000; i++ {
+		a, b := cfg.decide(i), cfg.decide(i)
+		if a != b {
+			t.Fatalf("request %d: decide not pure: %+v vs %+v", i, a, b)
+		}
+	}
+	// A different seed must produce a different fault sequence.
+	other := LadderAt(43, 3)
+	same := 0
+	for i := uint64(0); i < 2000; i++ {
+		if cfg.decide(i).kind == other.decide(i).kind {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Error("seeds 42 and 43 produced identical 2000-request fault sequences")
+	}
+}
+
+func TestDecideRatesRoughlyHonored(t *testing.T) {
+	cfg := Config{Seed: 7, Rate5xx: 0.25, RateReset: 0.25, RateTruncate: 0.25, RateLatency: 0.25, MaxLatency: time.Millisecond}
+	var got [numKinds]int
+	const n = 8000
+	for i := uint64(0); i < n; i++ {
+		got[cfg.decide(i).kind]++
+	}
+	for k := Kind5xx; k <= KindLatency; k++ {
+		frac := float64(got[k]) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Errorf("kind %s rate %.3f, want ~0.25", k, frac)
+		}
+	}
+	if got[KindNone] != 0 {
+		t.Errorf("rates sum to 1 but %d requests were untouched", got[KindNone])
+	}
+}
+
+func TestLadder(t *testing.T) {
+	if c := LadderAt(1, 0); c.Rate5xx+c.RateReset+c.RateTruncate+c.RateLatency != 0 {
+		t.Errorf("severity 0 injects faults: %+v", c)
+	}
+	prev := 0.0
+	for sev := 0; sev <= 3; sev++ {
+		c := LadderAt(1, sev)
+		if err := c.Validate(); err != nil {
+			t.Errorf("severity %d invalid: %v", sev, err)
+		}
+		sum := c.Rate5xx + c.RateReset + c.RateTruncate + c.RateLatency
+		if sum < prev {
+			t.Errorf("severity %d total rate %v < severity %d's %v; ladder must be monotonic", sev, sum, sev-1, prev)
+		}
+		prev = sum
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative-rate": {Rate5xx: -0.1},
+		"rate-over-1":   {RateReset: 1.5},
+		"sum-over-1":    {Rate5xx: 0.5, RateReset: 0.6},
+		"neg-latency":   {MaxLatency: -time.Second},
+		"neg-truncate":  {TruncateAfter: -1},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+	if _, err := NewTransport(nil, Config{Rate5xx: 2}); err == nil {
+		t.Error("NewTransport accepted an invalid config")
+	}
+}
+
+// chaosGet issues one GET through a fresh single-fault transport.
+func chaosGet(t *testing.T, cfg Config, backend http.Handler) (*http.Response, error, *Transport, *int32) {
+	t.Helper()
+	var hits int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	tr, err := NewTransport(ts.Client().Transport, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, rerr := client.Get(ts.URL)
+	return resp, rerr, tr, &hits
+}
+
+func echoBody(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func TestTransport5xxNeverReachesBackend(t *testing.T) {
+	resp, err, tr, hits := chaosGet(t, Config{Seed: 1, Rate5xx: 1}, echoBody("real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want injected 5xx", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "chaos") {
+		t.Errorf("body %q does not identify the injection", b)
+	}
+	if *hits != 0 {
+		t.Errorf("backend saw %d requests; synthetic 5xx must not forward", *hits)
+	}
+	if c := tr.Counters(); c.Errors5xx != 1 || c.Requests != 1 || c.Injected() != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestTransportResetSurfacesECONNRESET(t *testing.T) {
+	// Scan seeds for one before-send and one after-send reset so both
+	// halves are exercised deterministically.
+	var before, after *Config
+	for seed := uint64(1); seed < 64 && (before == nil || after == nil); seed++ {
+		cfg := Config{Seed: seed, RateReset: 1}
+		d := cfg.decide(0)
+		c := cfg
+		if d.afterSend && after == nil {
+			after = &c
+		}
+		if !d.afterSend && before == nil {
+			before = &c
+		}
+	}
+	if before == nil || after == nil {
+		t.Fatal("no seeds found for both reset directions")
+	}
+	for name, cfg := range map[string]*Config{"before-send": before, "after-send": after} {
+		t.Run(name, func(t *testing.T) {
+			wantHits := int32(0)
+			if name == "after-send" {
+				wantHits = 1
+			}
+			_, err, tr, hits := chaosGet(t, *cfg, echoBody("real"))
+			if err == nil || !errors.Is(err, syscall.ECONNRESET) {
+				t.Fatalf("err = %v, want wrapped ECONNRESET", err)
+			}
+			if *hits != wantHits {
+				t.Errorf("backend hits = %d, want %d", *hits, wantHits)
+			}
+			if c := tr.Counters(); c.Resets != 1 {
+				t.Errorf("counters = %+v", c)
+			}
+		})
+	}
+}
+
+func TestTransportTruncationEndsUnexpectedly(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	resp, err, tr, _ := chaosGet(t, Config{Seed: 1, RateTruncate: 1, TruncateAfter: 100}, echoBody(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", rerr)
+	}
+	if len(b) == 0 || len(b) > 100 {
+		t.Errorf("read %d bytes through a <=100-byte cut", len(b))
+	}
+	if c := tr.Counters(); c.Truncations != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestTransportLatencyUsesInjectedSleeper(t *testing.T) {
+	var slept []time.Duration
+	cfg := Config{Seed: 1, RateLatency: 1, MaxLatency: 5 * time.Millisecond, Sleep: noSleep(&slept)}
+	resp, err, tr, hits := chaosGet(t, cfg, echoBody("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "ok" || *hits != 1 {
+		t.Errorf("latency fault altered the exchange: body=%q hits=%d", b, *hits)
+	}
+	if len(slept) != 1 || slept[0] <= 0 || slept[0] > 5*time.Millisecond {
+		t.Errorf("slept = %v, want one delay in (0, 5ms]", slept)
+	}
+	if c := tr.Counters(); c.Latencies != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	backend := echoBody(strings.Repeat("y", 4096))
+
+	t.Run("5xx", func(t *testing.T) {
+		h, tr := Middleware(Config{Seed: 1, Rate5xx: 1}, backend)
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 500 {
+			t.Errorf("status = %d, want injected 5xx", resp.StatusCode)
+		}
+		if c := tr.Counters(); c.Errors5xx != 1 {
+			t.Errorf("counters = %+v", c)
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		h, tr := Middleware(Config{Seed: 2, RateReset: 1}, backend)
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("aborted connection produced a whole response")
+		}
+		if c := tr.Counters(); c.Resets != 1 {
+			t.Errorf("counters = %+v", c)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		h, tr := Middleware(Config{Seed: 3, RateTruncate: 1, TruncateAfter: 64}, backend)
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err) // headers made it out before the cut
+		}
+		defer resp.Body.Close()
+		b, rerr := io.ReadAll(resp.Body)
+		if rerr == nil && len(b) >= 4096 {
+			t.Errorf("read the whole %d-byte body through a 64-byte cut", len(b))
+		}
+		if c := tr.Counters(); c.Truncations != 1 {
+			t.Errorf("counters = %+v", c)
+		}
+	})
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Requests: 10, Errors5xx: 1, Resets: 2, Truncations: 3, Latencies: 4}
+	b := Counters{Requests: 5, Errors5xx: 1}
+	sum := a.Add(b)
+	if sum.Requests != 15 || sum.Errors5xx != 2 || sum.Injected() != 11 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindNone: "none", Kind5xx: "5xx", KindReset: "reset", KindTruncate: "truncate", KindLatency: "latency"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if s := Kind(99).String(); s != fmt.Sprintf("Kind(%d)", 99) {
+		t.Errorf("unknown kind renders %q", s)
+	}
+}

@@ -129,8 +129,11 @@ type Stats struct {
 	CacheHits      uint64 `json:"cache_hits"`
 	CacheMisses    uint64 `json:"cache_misses"`
 	CacheEvictions uint64 `json:"cache_evictions"`
-	CacheResident  int    `json:"cache_resident"`
-	Draining       bool   `json:"draining"`
+	// CacheQuarantined counts disk payloads that failed integrity
+	// verification and were renamed *.corrupt instead of being served.
+	CacheQuarantined uint64 `json:"cache_quarantined"`
+	CacheResident    int    `json:"cache_resident"`
+	Draining         bool   `json:"draining"`
 }
 
 // Server is the experiment service: admission control, the priority
@@ -205,7 +208,6 @@ func (s *Server) Submit(spec JobSpec) (StatusView, *APIError) {
 	id := spec.ID()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.Submitted++
 	if st, ok := s.jobs[id]; ok {
 		// Coalesce: same content address, any state — the earlier
@@ -217,9 +219,28 @@ func (s *Server) Submit(spec JobSpec) (StatusView, *APIError) {
 		if st.status == StatusDone {
 			v.CacheHit = true
 		}
+		s.mu.Unlock()
 		return v, nil
 	}
-	if payload, ok := s.cache.get(id); ok {
+	s.mu.Unlock()
+
+	// Cache lookup outside the server lock: the disk tier (read +
+	// integrity verification, possibly a quarantine rename) must not
+	// block unrelated submissions, status reads or worker transitions.
+	payload, cached := s.cache.get(id)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.jobs[id]; ok {
+		// An identical submission raced us during the cache lookup.
+		s.stats.Coalesced++
+		v := st.viewLocked()
+		if st.status == StatusDone {
+			v.CacheHit = true
+		}
+		return v, nil
+	}
+	if cached {
 		st := &jobState{
 			id: id, spec: spec, status: StatusDone, cacheHit: true,
 			payload: payload, changed: make(chan struct{}),
@@ -294,7 +315,7 @@ func (s *Server) Snapshot() Stats {
 	st.Running = s.running
 	st.Draining = s.draining
 	s.mu.Unlock()
-	st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheResident = s.cache.counters()
+	st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheQuarantined, st.CacheResident = s.cache.counters()
 	return st
 }
 

@@ -264,7 +264,7 @@ func TestDiskCacheSurvivesRestart(t *testing.T) {
 	if !bytes.Equal(payload1, payload2) {
 		t.Error("disk cache payload differs across restarts")
 	}
-	if _, err := os.Stat(filepath.Join(dir, v1.ID+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, v1.ID+payloadExt)); err != nil {
 		t.Errorf("payload file missing: %v", err)
 	}
 }
@@ -294,8 +294,11 @@ func TestCacheIndexFlushedOnDrain(t *testing.T) {
 	if err := json.Unmarshal(b, &idx); err != nil {
 		t.Fatal(err)
 	}
-	if idx.Schema != addressSchema || len(idx.Entries) != 1 || idx.Entries[0].ID != v.ID {
+	if idx.Schema != cacheSchema || len(idx.Entries) != 1 || idx.Entries[0].ID != v.ID {
 		t.Errorf("index = %+v, want one entry for %s", idx, v.ID)
+	}
+	if idx.Entries[0].Sum == "" || idx.Entries[0].Bytes == 0 {
+		t.Errorf("index entry missing checksum/size: %+v", idx.Entries[0])
 	}
 }
 
